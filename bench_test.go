@@ -1,0 +1,83 @@
+// Benchmarks regenerating every experiment in DESIGN.md §4. Each bench runs
+// the full harness (workload generation, execution, table production, shape
+// validation); -bench=. therefore reproduces the complete evaluation. Tables
+// print once per bench under -v via b.Log.
+package vce_test
+
+import (
+	"testing"
+
+	"vce/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, run func() (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table.String())
+			for _, n := range res.Notes {
+				b.Log(n)
+			}
+		}
+	}
+}
+
+// BenchmarkE1Pipeline regenerates E1 (Figure 1: the SDM→EXM pipeline on the
+// §5 weather application).
+func BenchmarkE1Pipeline(b *testing.B) { benchExperiment(b, experiments.E1Pipeline) }
+
+// BenchmarkE2Proxy regenerates E2 (Figure 2: proxy invocation overhead).
+func BenchmarkE2Proxy(b *testing.B) { benchExperiment(b, experiments.E2Proxy) }
+
+// BenchmarkE3Bidding regenerates E3 (Figure 3: the bidding mechanism).
+func BenchmarkE3Bidding(b *testing.B) { benchExperiment(b, experiments.E3Bidding) }
+
+// BenchmarkE3aCrashedBidder regenerates the reply-collection ablation.
+func BenchmarkE3aCrashedBidder(b *testing.B) { benchExperiment(b, experiments.E3aCrashedBidder) }
+
+// BenchmarkE4Failover regenerates E4 (§5 leader failover).
+func BenchmarkE4Failover(b *testing.B) { benchExperiment(b, experiments.E4Failover) }
+
+// BenchmarkE5Placement regenerates E5 (§4.3 placement policy comparison).
+func BenchmarkE5Placement(b *testing.B) { benchExperiment(b, experiments.E5Placement) }
+
+// BenchmarkE6Aging regenerates E6 (§4.3 starvation prevention).
+func BenchmarkE6Aging(b *testing.B) { benchExperiment(b, experiments.E6Aging) }
+
+// BenchmarkE7Migration regenerates E7 (§4.4 migration strategies).
+func BenchmarkE7Migration(b *testing.B) { benchExperiment(b, experiments.E7Migration) }
+
+// BenchmarkE7aCheckpointInterval regenerates the checkpoint-interval sweep.
+func BenchmarkE7aCheckpointInterval(b *testing.B) {
+	benchExperiment(b, experiments.E7aCheckpointInterval)
+}
+
+// BenchmarkE8Ripple regenerates E8 (§4.3 suspension ripple effect).
+func BenchmarkE8Ripple(b *testing.B) { benchExperiment(b, experiments.E8Ripple) }
+
+// BenchmarkE9FreeParallelism regenerates E9 (§4.5 free parallelism).
+func BenchmarkE9FreeParallelism(b *testing.B) { benchExperiment(b, experiments.E9FreeParallelism) }
+
+// BenchmarkE10Anticipatory regenerates E10 (§4.5 anticipatory processing).
+func BenchmarkE10Anticipatory(b *testing.B) { benchExperiment(b, experiments.E10Anticipatory) }
+
+// BenchmarkE10aReplicationFanout regenerates the replication-fanout sweep.
+func BenchmarkE10aReplicationFanout(b *testing.B) {
+	benchExperiment(b, experiments.E10aReplicationFanout)
+}
+
+// BenchmarkE11Redundant regenerates E11 (§4.4 redundant execution).
+func BenchmarkE11Redundant(b *testing.B) { benchExperiment(b, experiments.E11Redundant) }
+
+// BenchmarkE12Concurrency regenerates E12 (§5 concurrent execution programs).
+func BenchmarkE12Concurrency(b *testing.B) { benchExperiment(b, experiments.E12Concurrency) }
+
+// BenchmarkE7bAdaptivePicker regenerates the adaptive-selection ablation.
+func BenchmarkE7bAdaptivePicker(b *testing.B) { benchExperiment(b, experiments.E7bAdaptivePicker) }
+
+// BenchmarkE13Utilization regenerates E13 (§4.3 utilization/throughput).
+func BenchmarkE13Utilization(b *testing.B) { benchExperiment(b, experiments.E13Utilization) }

@@ -1,0 +1,135 @@
+// Command vced is the VCE scheduling/dispatching daemon of §5: one runs on
+// every machine "authorized to host remote executions". Daemons of the same
+// architecture class form an Isis-style process group over TCP; the first
+// instance to come on-line assumes the role of group leader, and the oldest
+// surviving member takes over if the leader fails.
+//
+// Usage:
+//
+//	vced -name ws1 -class WORKSTATION -speed 1.0          # founds the group
+//	vced -name ws2 -class WORKSTATION -contact HOST:PORT  # joins via ws1
+//
+// The daemon serves a built-in demo program registry (/demo/sleep.vce,
+// /demo/burn.vce, /demo/hello.vce) so cmd/vcerun can dispatch work to it
+// out of the box; a real deployment would register site programs here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vce/internal/arch"
+	"vce/internal/channel"
+	"vce/internal/exm"
+	"vce/internal/isis"
+	"vce/internal/transport"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "", "machine name (required)")
+		class    = flag.String("class", "WORKSTATION", "machine class: WORKSTATION, MIMD, SIMD, VECTOR")
+		speed    = flag.Float64("speed", 1.0, "relative machine speed")
+		osName   = flag.String("os", "unix", "operating system name")
+		contact  = flag.String("contact", "", "address of any existing group member; empty founds the group")
+		maxTasks = flag.Int("maxtasks", 4, "maximum concurrent VCE task instances")
+		overload = flag.Float64("overload", 2.0, "load threshold above which the daemon declines to bid")
+	)
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "vced: -name is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cls, err := arch.ParseClass(*class)
+	if err != nil {
+		log.Fatalf("vced: %v", err)
+	}
+
+	registry := exm.NewRegistry()
+	registerDemoPrograms(registry)
+
+	cfg := exm.DaemonConfig{
+		Machine: arch.Machine{
+			Name: *name, Class: cls, Speed: *speed, OS: *osName, MemoryMB: 64,
+		},
+		Registry:          registry,
+		Hub:               channel.NewHub(),
+		MaxTasks:          *maxTasks,
+		OverloadThreshold: *overload,
+		Isis: isis.Config{
+			Name:           *name,
+			HeartbeatEvery: 250 * time.Millisecond,
+			FailAfter:      time.Second,
+			ReplyTimeout:   2 * time.Second,
+		},
+	}
+	d, err := exm.StartDaemon(transport.NewTCP(), cls.String(), transport.Addr(*contact), cfg)
+	if err != nil {
+		log.Fatalf("vced: %v", err)
+	}
+	role := "member"
+	if d.IsLeader() {
+		role = "group leader"
+	}
+	log.Printf("vced: %s on-line at %s (group %s, %s, %d members)",
+		*name, d.Addr(), cls, role, d.GroupSize())
+	log.Printf("vced: join further daemons with: vced -name <n> -class %s -contact %s", cls, d.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			log.Printf("vced: %s leaving group", *name)
+			d.Leave()
+			return
+		case <-ticker.C:
+			log.Printf("vced: %s members=%d leader=%v load=%.2f running=%d bids=%d",
+				*name, d.GroupSize(), d.IsLeader(), d.Load(), d.RunningInstances(), d.BidsSent())
+		}
+	}
+}
+
+// registerDemoPrograms installs the programs the quickstart deployment
+// dispatches.
+func registerDemoPrograms(r *exm.Registry) {
+	mustRegister := func(path string, p exm.Program) {
+		if err := r.Register(path, p); err != nil {
+			log.Fatalf("vced: %v", err)
+		}
+	}
+	mustRegister("/demo/hello.vce", func(ctx exm.ProgContext) error {
+		log.Printf("vced: [%s] hello from instance %d of %s", ctx.Machine, ctx.Instance, ctx.App)
+		return nil
+	})
+	mustRegister("/demo/sleep.vce", func(ctx exm.ProgContext) error {
+		select {
+		case <-time.After(2 * time.Second):
+			return nil
+		case <-ctx.Cancel:
+			return nil
+		}
+	})
+	mustRegister("/demo/burn.vce", func(ctx exm.ProgContext) error {
+		deadline := time.Now().Add(time.Second)
+		x := 1.0
+		for time.Now().Before(deadline) {
+			select {
+			case <-ctx.Cancel:
+				return nil
+			default:
+				x = x*1.0000001 + 1
+			}
+		}
+		_ = x
+		return nil
+	})
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"vce/internal/arch"
+)
+
+func TestParseContacts(t *testing.T) {
+	out, err := parseContacts("WORKSTATION=127.0.0.1:4000,SIMD=10.0.0.1:5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[arch.Workstation] != "127.0.0.1:4000" || out[arch.SIMD] != "10.0.0.1:5000" {
+		t.Fatalf("contacts = %v", out)
+	}
+}
+
+func TestParseContactsErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"WORKSTATION",
+		"WORKSTATION=",
+		"QUANTUM=1.2.3.4:5",
+	}
+	for _, s := range bad {
+		if _, err := parseContacts(s); err == nil {
+			t.Errorf("parseContacts(%q) accepted", s)
+		}
+	}
+}
+
+func TestParseContactsClassSynonym(t *testing.T) {
+	out, err := parseContacts("WS=1.2.3.4:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[arch.Workstation] != "1.2.3.4:5" {
+		t.Fatalf("contacts = %v", out)
+	}
+}

@@ -1,0 +1,101 @@
+// Anticipatory: the §4.5 two-module example. While the first module runs,
+// idle machines precompile the second module for every candidate
+// architecture and replicate its input files to candidate hosts — so when
+// the first module completes, the second dispatches instantly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vce/internal/antic"
+	"vce/internal/arch"
+	"vce/internal/compilemgr"
+	"vce/internal/metrics"
+	"vce/internal/netsim"
+	"vce/internal/sim"
+	"vce/internal/taskgraph"
+)
+
+func main() {
+	table := metrics.NewTable("§4.5 anticipatory processing (stage 1 runs 120s; stage 2: 60s compile + 32 MiB input)",
+		"mode", "stage-2 dispatch latency s", "application makespan s")
+	for _, anticipate := range []bool{false, true} {
+		lat, makespan := run(anticipate)
+		mode := "cold"
+		if anticipate {
+			mode = "anticipatory"
+		}
+		table.AddRow(mode, lat.Seconds(), makespan.Seconds())
+	}
+	fmt.Println(table.String())
+	fmt.Println(`Anticipatory compilation and file replication fit entirely inside the
+first module's execution shadow, so the dependent module starts the moment
+its predecessor finishes — idle cycles bought the latency down to zero.`)
+}
+
+func run(anticipate bool) (time.Duration, time.Duration) {
+	fail := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	host := arch.Machine{Name: "host", Class: arch.Workstation, Speed: 1, OS: "unix", MemoryMB: 64}
+	builder := arch.Machine{Name: "builder", Class: arch.Workstation, Speed: 1, OS: "unix", MemoryMB: 64}
+	db := arch.NewDB()
+	fail(db.Add(host))
+	fail(db.Add(builder))
+	mgr := compilemgr.New(db, compilemgr.CostModel{Base: 60 * time.Second})
+
+	c := sim.NewCluster()
+	c.Net = netsim.New(netsim.Link{Latency: 0, Bandwidth: 1 << 20}) // 1 MiB/s
+	hostM, err := c.AddMachine(host)
+	fail(err)
+	builderM, err := c.AddMachine(builder)
+	fail(err)
+	fail(c.FS.Create("/data/obs.dat", 32<<20, "archive"))
+
+	g := taskgraph.New("two-stage")
+	fail(g.AddTask(taskgraph.Task{ID: "first", Program: "/apps/first.vce", WorkUnits: 120,
+		Requirements: arch.Requirements{Classes: []arch.Class{arch.Workstation}}}))
+	second := taskgraph.Task{ID: "second", Program: "/apps/second.vce", WorkUnits: 60,
+		ImageBytes: 4 << 20, InputFiles: []string{"/data/obs.dat"},
+		Requirements: arch.Requirements{Classes: []arch.Class{arch.Workstation}}}
+	fail(g.AddTask(second))
+	fail(g.AddArc(taskgraph.Arc{From: "first", To: "second", Kind: taskgraph.Precedence}))
+
+	done := map[taskgraph.TaskID]bool{}
+	started := map[taskgraph.TaskID]bool{"first": true}
+	if anticipate {
+		for _, plan := range antic.CompilationPlans(mgr, g, done, started) {
+			_, err := antic.ExecuteCompile(c, mgr, g, plan, builderM)
+			fail(err)
+		}
+		plans, err := antic.ReplicationPlans(c.FS, g, done, started,
+			map[taskgraph.TaskID][]string{"second": {"host"}})
+		fail(err)
+		for _, p := range plans {
+			fail(antic.ExecuteReplicate(c, c.FS, p))
+		}
+	}
+
+	var dispatchLatency, makespan time.Duration
+	fail(hostM.AddTask(&sim.Task{ID: "first", Work: 120,
+		OnDone: func(_ *sim.Task, at time.Duration) {
+			var lat time.Duration
+			if !mgr.HasBinaryFor("/apps/second.vce", host) {
+				lat += mgr.CostModel().CompileTime(second.ImageBytes)
+			}
+			if stageIn, err := antic.StageInLatency(c, c.FS, second, "host"); err == nil {
+				lat += stageIn
+			}
+			dispatchLatency = lat
+			c.Sim.After(lat, func() {
+				fail(hostM.AddTask(&sim.Task{ID: "second", Work: 60,
+					OnDone: func(_ *sim.Task, at2 time.Duration) { makespan = at2 }}))
+			})
+		}}))
+	c.Sim.Run()
+	return dispatchLatency, makespan
+}

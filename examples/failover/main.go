@@ -1,0 +1,83 @@
+// Failover: the §5 fault-tolerance rule, live. A five-workstation group
+// forms; the group leader is killed mid-service; "the oldest surviving
+// member of the group ... assume[s] the role of group leader", and
+// applications submitted afterwards keep being served.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vce"
+)
+
+func main() {
+	env := vce.New(vce.Options{
+		Isis: vce.IsisConfig{
+			HeartbeatEvery: 50 * time.Millisecond,
+			FailAfter:      500 * time.Millisecond,
+			ReplyTimeout:   time.Second,
+		},
+	})
+	defer env.Shutdown()
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		m := vce.Machine{Name: fmt.Sprintf("ws%d", i), Class: vce.Workstation, Speed: 1, OS: "unix"}
+		if _, err := env.AddMachine(m, vce.MachineConfig{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := env.Registry().Register("/apps/job.vce", func(ctx vce.ProgContext) error {
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	leaderName := func() string {
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("ws%d", i)
+			if d, ok := env.Daemon(name); ok && d.IsLeader() {
+				return name
+			}
+		}
+		return "?"
+	}
+	waitGroup := func(size int) {
+		for env.GroupSizes()[vce.Workstation] != size {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	waitGroup(n)
+	fmt.Printf("group formed: %d members, leader %s\n", n, leaderName())
+
+	if _, err := env.RunScript("before", `WORKSTATION 2 "/apps/job.vce"`); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("application served before failure")
+
+	victim := leaderName()
+	fmt.Printf("killing group leader %s (no goodbye) ...\n", victim)
+	start := time.Now()
+	if err := env.StopMachine(victim); err != nil {
+		log.Fatal(err)
+	}
+	// Wait for the oldest surviving member to take over.
+	for {
+		if l := leaderName(); l != "?" && l != victim {
+			fmt.Printf("oldest surviving member %s assumed leadership after %v\n",
+				l, time.Since(start).Round(time.Millisecond))
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	report, err := env.RunScript("after", `WORKSTATION 2 "/apps/job.vce"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application served after failover on %v — the group never stopped taking work\n",
+		report.MachinesUsed())
+}

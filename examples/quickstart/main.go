@@ -1,0 +1,50 @@
+// Quickstart: build an in-memory VCE with a small workstation group,
+// register a program, and run a one-line application description.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vce"
+)
+
+func main() {
+	env := vce.New(vce.Options{})
+	defer env.Shutdown()
+
+	// Three workstations join the WORKSTATION group; the first founds it
+	// and acts as group leader.
+	for i := 0; i < 3; i++ {
+		m := vce.Machine{
+			Name:  fmt.Sprintf("ws%d", i),
+			Class: vce.Workstation,
+			Speed: 1.0,
+			OS:    "unix",
+		}
+		if _, err := env.AddMachine(m, vce.MachineConfig{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Register the application's single module. In the 1994 prototype
+	// this would be an object file on a shared file system; here it is an
+	// opaque Go function the runtime manager dispatches and monitors.
+	err := env.Registry().Register("/apps/hello.vce", func(ctx vce.ProgContext) error {
+		fmt.Printf("hello from instance %d on machine %s\n", ctx.Instance, ctx.Machine)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The §5 application description: two instances on the workstation
+	// group. The group leader broadcasts the request, collects bids, and
+	// the two least-loaded machines win.
+	report, err := env.RunScript("hello", `WORKSTATION 2 "/apps/hello.vce"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\napplication %q: %d instances on machines %v in %d wave(s)\n",
+		report.App, len(report.Placements), report.MachinesUsed(), report.Waves)
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vce/internal/arch"
+	"vce/internal/exm"
+	"vce/internal/transport"
+)
+
+// TestTCPEndToEnd runs the whole stack over real loopback TCP sockets — the
+// cmd/vced + cmd/vcerun deployment path — including a leader failover while
+// the environment stays in service.
+func TestTCPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP sockets in -short mode")
+	}
+	v := New(Options{
+		Network:    transport.NewTCP(),
+		Isis:       fastIsis(),
+		RunTimeout: 10 * time.Second,
+	})
+	defer v.Shutdown()
+	for _, name := range []string{"tws0", "tws1", "tws2"} {
+		m := arch.Machine{Name: name, Class: arch.Workstation, Speed: 1, OS: "unix", MemoryMB: 64}
+		if _, err := v.AddMachine(m, MachineConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		if v.GroupSizes()[arch.Workstation] == 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("TCP group never converged: %v", v.GroupSizes())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	var ran atomic.Int64
+	if err := v.Registry().Register("/apps/tcp.vce", func(ctx exm.ProgContext) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := v.RunScript("tcpapp", `WORKSTATION 2 "/apps/tcp.vce"`)
+	if err != nil {
+		t.Fatalf("TCP run: %v", err)
+	}
+	if len(report.Placements) != 2 || ran.Load() != 2 {
+		t.Fatalf("placements = %+v ran = %d", report.Placements, ran.Load())
+	}
+
+	// Kill the leader over TCP and keep serving.
+	if err := v.StopMachine("tws0"); err != nil {
+		t.Fatal(err)
+	}
+	failover := time.After(10 * time.Second)
+	for {
+		if d, ok := v.Daemon("tws1"); ok && d.IsLeader() {
+			break
+		}
+		select {
+		case <-failover:
+			t.Fatal("TCP failover never completed")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	report, err = v.RunScript("tcpapp2", `WORKSTATION 1 "/apps/tcp.vce"`)
+	if err != nil {
+		t.Fatalf("post-failover TCP run: %v", err)
+	}
+	if len(report.Placements) != 1 || ran.Load() != 3 {
+		t.Fatalf("post-failover placements = %+v ran = %d", report.Placements, ran.Load())
+	}
+}

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vce/internal/arch"
+	"vce/internal/compilemgr"
+	"vce/internal/loadbalance"
+	"vce/internal/metrics"
+	"vce/internal/migrate"
+	"vce/internal/rng"
+	"vce/internal/sim"
+	"vce/internal/workload"
+)
+
+// E7bAdaptivePicker reproduces the §4.4 repertoire argument: "Which of these
+// will be used for any particular migration will depend on the state of the
+// system and the characteristics of the task(s) involved." The adaptive
+// picker must choose each mechanism exactly where it is cheapest.
+func E7bAdaptivePicker() (*Result, error) {
+	res := &Result{ID: "E7b", Title: "Ablation: adaptive strategy selection (§4.4 repertoire)"}
+	res.Table = metrics.NewTable("E7b: chosen strategy by system state",
+		"scenario", "chosen", "estimated delay s")
+
+	type scenario struct {
+		name   string
+		expect string
+		setup  func() (*sim.Cluster, *sim.Task, *sim.Machine, *sim.Machine, *migrate.Picker, error)
+	}
+	newPicker := func(compiler *compilemgr.Manager, program string) (*migrate.Picker, *migrate.Redundant, *migrate.Checkpointer, error) {
+		red := migrate.NewRedundant()
+		ck := migrate.NewCheckpointer(10 * time.Second)
+		rec := &migrate.Recompile{
+			Compiler: compiler, Program: program,
+			Cost: compilemgr.CostModel{Base: 60 * time.Second},
+		}
+		p, err := migrate.NewPicker(red, migrate.AddressSpace{}, ck, rec)
+		return p, red, ck, err
+	}
+
+	scenarios := []scenario{
+		{
+			name:   "redundant copy live (homogeneous)",
+			expect: "redundant",
+			setup: func() (*sim.Cluster, *sim.Task, *sim.Machine, *sim.Machine, *migrate.Picker, error) {
+				c, ms, err := simCluster(wsSpec("src", 1), wsSpec("dst", 1))
+				if err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				p, red, _, err := newPicker(nil, "")
+				if err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				if _, err := red.Launch(c, "job", 100, 8<<20, ms, nil); err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				c.Sim.RunUntil(5 * time.Second)
+				return c, ms[0].Tasks()[0], ms[0], ms[1], p, nil
+			},
+		},
+		{
+			name:   "single copy, homogeneous pair",
+			expect: "address-space",
+			setup: func() (*sim.Cluster, *sim.Task, *sim.Machine, *sim.Machine, *migrate.Picker, error) {
+				c, ms, err := simCluster(wsSpec("src", 1), wsSpec("dst", 1))
+				if err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				p, _, _, err := newPicker(nil, "")
+				if err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				task := &sim.Task{ID: "job", Work: 100, ImageBytes: 8 << 20, Checkpointable: true}
+				if err := ms[0].AddTask(task); err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				c.Sim.RunUntil(5 * time.Second)
+				return c, task, ms[0], ms[1], p, nil
+			},
+		},
+		{
+			name:   "warm checkpoint replica at destination",
+			expect: "checkpoint",
+			setup: func() (*sim.Cluster, *sim.Task, *sim.Machine, *sim.Machine, *migrate.Picker, error) {
+				c, ms, err := simCluster(wsSpec("src", 1), wsSpec("dst", 1))
+				if err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				p, _, ck, err := newPicker(nil, "")
+				if err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				task := &sim.Task{ID: "job", Work: 100, ImageBytes: 8 << 20, Checkpointable: true}
+				if err := ms[0].AddTask(task); err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				if err := ck.Attach(c, task); err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				c.Sim.RunUntil(10500 * time.Millisecond) // one checkpoint taken
+				if _, err := c.FS.Replicate("/ckpt/job", "dst"); err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				c.Sim.RunUntil(10600 * time.Millisecond)
+				return c, task, ms[0], ms[1], p, nil
+			},
+		},
+		{
+			name:   "heterogeneous pair",
+			expect: "recompile",
+			setup: func() (*sim.Cluster, *sim.Task, *sim.Machine, *sim.Machine, *migrate.Picker, error) {
+				cm5 := arch.Machine{Name: "dst", Class: arch.SIMD, Speed: 1, OS: "cmost", Order: arch.BigEndian}
+				c, ms, err := simCluster(wsSpec("src", 1), cm5)
+				if err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				p, _, _, err := newPicker(nil, "")
+				if err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				task := &sim.Task{ID: "job", Work: 100, ImageBytes: 8 << 20, Checkpointable: true}
+				if err := ms[0].AddTask(task); err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				c.Sim.RunUntil(5 * time.Second)
+				return c, task, ms[0], ms[1], p, nil
+			},
+		},
+	}
+
+	for _, sc := range scenarios {
+		c, task, src, dst, picker, err := sc.setup()
+		if err != nil {
+			return nil, fmt.Errorf("E7b %s: %w", sc.name, err)
+		}
+		chosen, cost, err := picker.Choose(c, task, src, dst)
+		if err != nil {
+			return nil, fmt.Errorf("E7b %s: %w", sc.name, err)
+		}
+		res.Table.AddRow(sc.name, chosen.Name(), cost.Seconds())
+		if chosen.Name() != sc.expect {
+			return nil, fmt.Errorf("E7b %s: picked %s, want %s", sc.name, chosen.Name(), sc.expect)
+		}
+	}
+	res.note("the adaptive picker selects each §4.4 mechanism exactly where its estimated delay is lowest: redundancy when a copy lives, address-space within a class, checkpoint with warm records, recompilation across architectures")
+	return res, nil
+}
+
+// E13Utilization reproduces the §4.3 framing around Krueger: non-preemptive
+// idle-workstation placement improves utilization "significantly" over no
+// remote execution — and migration recovers the additional throughput that
+// suspension leaves behind ("opportunities for increasing throughput could
+// be missed if it is not possible to move a process").
+func E13Utilization() (*Result, error) {
+	res := &Result{ID: "E13", Title: "§4.3: remote execution and migration vs owner activity"}
+	res.Table = metrics.NewTable("E13: 40 batch jobs on 8 owner-occupied workstations (1h horizon)",
+		"policy", "jobs completed", "mean completion s")
+
+	type outcome struct {
+		completed int
+		meanDone  float64
+	}
+	const (
+		horizon = time.Hour
+		nJobs   = 40
+		jobWork = 120.0
+	)
+
+	runPolicy := func(mode string) (outcome, error) {
+		r := rng.New(seed).Derive("e13")
+		c, ms, err := simCluster(
+			wsSpec("m0", 1), wsSpec("m1", 1), wsSpec("m2", 1), wsSpec("m3", 1),
+			wsSpec("m4", 1), wsSpec("m5", 1), wsSpec("m6", 1), wsSpec("m7", 1),
+		)
+		if err != nil {
+			return outcome{}, err
+		}
+		// Owner activity on every machine: idle 5min / busy 3min bursts.
+		traceRng := r.Derive("traces")
+		for _, m := range ms {
+			steps := workload.BurstyTrace(traceRng, horizon, 5*time.Minute, 3*time.Minute, 1.0)
+			if err := c.PlayLoadTrace(m.Name(), steps); err != nil {
+				return outcome{}, err
+			}
+		}
+		completed := 0
+		var doneSum float64
+		arrivals := workload.PoissonArrivals(r.Derive("arrivals"), 1.0/45, horizon/2)
+		specs := workload.UniformBag(r.Derive("work"), nJobs, jobWork, jobWork+1)
+
+		switch mode {
+		case "origin-only":
+			// No remote execution: every job runs on its owner's machine.
+			for i, at := range arrivals {
+				if i >= nJobs {
+					break
+				}
+				i := i
+				c.Sim.At(at, func() {
+					_ = ms[i%len(ms)].AddTask(&sim.Task{
+						ID: specs[i].ID, Work: specs[i].Work,
+						OnDone: func(_ *sim.Task, done time.Duration) {
+							completed++
+							doneSum += done.Seconds()
+						},
+					})
+				})
+			}
+		case "dawgs", "vce-migrate":
+			queue := loadbalance.NewDAWGS(0.5, 0.8, 0.2)
+			if mode == "vce-migrate" {
+				// Placement by the same idle-seeking queue, but
+				// evacuation instead of suspension when owners return.
+				queue = loadbalance.NewDAWGS(0.5, 99, 0.2) // suspension off
+				loadbalance.NewVCEMigrate(0.8, 0.2, 0.5, migrate.AddressSpace{}).Attach(c)
+			}
+			queue.Attach(c)
+			for i, at := range arrivals {
+				if i >= nJobs {
+					break
+				}
+				i := i
+				c.Sim.At(at, func() {
+					queue.Submit(c, &sim.Task{
+						ID: specs[i].ID, Work: specs[i].Work, ImageBytes: 1 << 20,
+						OnDone: func(_ *sim.Task, done time.Duration) {
+							completed++
+							doneSum += done.Seconds()
+						},
+					})
+				})
+			}
+		default:
+			return outcome{}, fmt.Errorf("unknown mode %q", mode)
+		}
+		c.Sim.RunUntil(horizon)
+		mean := 0.0
+		if completed > 0 {
+			mean = doneSum / float64(completed)
+		}
+		return outcome{completed: completed, meanDone: mean}, nil
+	}
+
+	results := map[string]outcome{}
+	for _, mode := range []string{"origin-only", "dawgs", "vce-migrate"} {
+		out, err := runPolicy(mode)
+		if err != nil {
+			return nil, fmt.Errorf("E13 %s: %w", mode, err)
+		}
+		results[mode] = out
+		res.Table.AddRow(mode, out.completed, out.meanDone)
+	}
+	if results["dawgs"].completed < results["origin-only"].completed {
+		return nil, fmt.Errorf("E13: non-preemptive placement (%d) worse than origin-only (%d)",
+			results["dawgs"].completed, results["origin-only"].completed)
+	}
+	if results["vce-migrate"].completed < results["dawgs"].completed {
+		return nil, fmt.Errorf("E13: migration (%d) worse than suspension (%d)",
+			results["vce-migrate"].completed, results["dawgs"].completed)
+	}
+	if results["vce-migrate"].meanDone >= results["origin-only"].meanDone {
+		return nil, fmt.Errorf("E13: migration mean completion (%.0fs) not below origin-only (%.0fs)",
+			results["vce-migrate"].meanDone, results["origin-only"].meanDone)
+	}
+	res.note("idle-workstation placement lifts throughput over origin-only execution (Krueger's finding), and migration recovers the §4.3 throughput that suspension leaves on busy machines: %d → %d → %d jobs",
+		results["origin-only"].completed, results["dawgs"].completed, results["vce-migrate"].completed)
+	return res, nil
+}

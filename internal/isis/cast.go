@@ -1,0 +1,320 @@
+package isis
+
+import (
+	"fmt"
+	"time"
+
+	"vce/internal/transport"
+)
+
+// Cast broadcasts payload to every member of the current view (including the
+// caster) under the given ordering, then collects replies.
+//
+// nreplies semantics follow Isis bcast/reply: AllReplies waits for one reply
+// per member in the view at cast time; 0 returns immediately after sending; k
+// waits for the first k replies. Members whose handler returns ok=false never
+// reply, so undersubscribed casts end at the reply timeout with ErrTimeout
+// and whatever replies arrived — the exact partial-failure surface the VCE
+// group leader is built on.
+func (p *Process) Cast(order Ordering, kind string, payload []byte, nreplies int) ([]Reply, error) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return nil, ErrStopped
+	}
+	if !p.haveView {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("isis: cast before first view")
+	}
+	view := p.view.clone()
+	want := nreplies
+	if want == AllReplies {
+		want = view.Size()
+	}
+	p.castSeq++
+	id := p.castSeq
+	msg := &castMsg{
+		ID:        id,
+		Kind:      kind,
+		Sender:    p.id,
+		ReplyTo:   p.ep.Addr(),
+		Order:     order,
+		ViewNum:   view.Number,
+		WantReply: want > 0,
+		Payload:   payload,
+	}
+	switch order {
+	case FIFO:
+		p.senderSeq++
+		msg.SenderSeq = p.senderSeq
+	case Causal:
+		p.senderSeq++
+		msg.SenderSeq = p.senderSeq
+		p.vc[p.id]++
+		msg.VC = make(map[MemberID]uint64, len(p.vc))
+		for k, v := range p.vc {
+			msg.VC[k] = v
+		}
+	case Total:
+		// Sequenced by the leader; SenderSeq intentionally unset.
+	default:
+		p.mu.Unlock()
+		return nil, fmt.Errorf("isis: unknown ordering %d", order)
+	}
+	var pc *pendingCast
+	if want > 0 {
+		pc = &pendingCast{want: want, done: make(chan struct{})}
+		p.pending[id] = pc
+	}
+	timeout := p.cfg.ReplyTimeout
+	p.mu.Unlock()
+
+	wire, err := encode(*msg)
+	if err != nil {
+		return nil, err
+	}
+	if order == Total {
+		leader := view.Leader()
+		if err := p.ep.Send(leader.Addr, kindABReq, wire); err != nil {
+			return nil, fmt.Errorf("isis: abcast to sequencer: %w", err)
+		}
+	} else {
+		for _, m := range view.Members {
+			_ = p.ep.Send(m.Addr, kindCast, wire)
+		}
+	}
+
+	if pc == nil {
+		return nil, nil
+	}
+	timedOut := make(chan struct{})
+	timer := p.cfg.Clock.AfterFunc(timeout, func() { close(timedOut) })
+	defer timer.Stop()
+	select {
+	case <-pc.done:
+	case <-timedOut:
+	}
+	p.mu.Lock()
+	delete(p.pending, id)
+	replies := append([]Reply(nil), pc.replies...)
+	stopped := p.stopped
+	p.mu.Unlock()
+	if stopped {
+		return replies, ErrStopped
+	}
+	if len(replies) < want {
+		return replies, ErrTimeout
+	}
+	return replies, nil
+}
+
+// Send delivers an application point-to-point message to one member.
+func (p *Process) Send(to MemberID, kind string, payload []byte) error {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return ErrStopped
+	}
+	var addr string
+	for _, m := range p.view.Members {
+		if m.ID == to {
+			addr = string(m.Addr)
+			break
+		}
+	}
+	p.mu.Unlock()
+	if addr == "" {
+		// Allow addressing by raw transport address for processes
+		// outside the group (the execution program is not a member).
+		addr = string(to)
+	}
+	wire, err := encode(pointMsg{Kind: kind, From: p.id, Payload: payload})
+	if err != nil {
+		return err
+	}
+	return p.ep.Send(transport.Addr(addr), kindPoint, wire)
+}
+
+// handleABReq runs at the sequencer (leader): stamp and fan out.
+func (p *Process) handleABReq(cm *castMsg) {
+	p.mu.Lock()
+	if p.stopped || !p.isLeaderLocked() {
+		p.mu.Unlock()
+		return
+	}
+	p.totalSeq++
+	cm.TotalSeq = p.totalSeq
+	view := p.view.clone()
+	p.mu.Unlock()
+	wire, err := encode(*cm)
+	if err != nil {
+		return
+	}
+	for _, m := range view.Members {
+		_ = p.ep.Send(m.Addr, kindCast, wire)
+	}
+}
+
+// handleCast buffers or delivers an inbound cast according to its ordering.
+func (p *Process) handleCast(cm *castMsg) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	var ready []*castMsg
+	switch cm.Order {
+	case Total:
+		if cm.TotalSeq < p.nextTotal {
+			p.mu.Unlock()
+			return // duplicate/old
+		}
+		p.totalBuf[cm.TotalSeq] = cm
+		ready = p.drainTotalLocked()
+	case Causal:
+		if cm.Sender == p.id {
+			// Own cast: the vector clock advanced at send time.
+			ready = append(ready, cm)
+		} else {
+			p.causalBuf = append(p.causalBuf, cm)
+			ready = p.drainCausalLocked()
+		}
+	default: // FIFO
+		ready = p.admitFIFOLocked(cm)
+	}
+	p.mu.Unlock()
+	p.deliverAll(ready)
+}
+
+// admitFIFOLocked enforces per-sender sequence delivery. An unknown sender's
+// first message sets the baseline (late joiners must not wait for history).
+func (p *Process) admitFIFOLocked(cm *castMsg) []*castMsg {
+	next, known := p.fifoNext[cm.Sender]
+	if !known {
+		p.fifoNext[cm.Sender] = cm.SenderSeq + 1
+		return []*castMsg{cm}
+	}
+	if cm.SenderSeq < next {
+		return nil // duplicate
+	}
+	if cm.SenderSeq > next {
+		p.fifoBuf[cm.Sender] = append(p.fifoBuf[cm.Sender], cm)
+		return nil
+	}
+	ready := []*castMsg{cm}
+	p.fifoNext[cm.Sender] = cm.SenderSeq + 1
+	// Pull any buffered successors forward.
+	progress := true
+	for progress {
+		progress = false
+		buf := p.fifoBuf[cm.Sender]
+		for i, b := range buf {
+			if b != nil && b.SenderSeq == p.fifoNext[cm.Sender] {
+				ready = append(ready, b)
+				p.fifoNext[cm.Sender] = b.SenderSeq + 1
+				buf[i] = nil
+				progress = true
+			}
+		}
+	}
+	compact := p.fifoBuf[cm.Sender][:0]
+	for _, b := range p.fifoBuf[cm.Sender] {
+		if b != nil {
+			compact = append(compact, b)
+		}
+	}
+	p.fifoBuf[cm.Sender] = compact
+	return ready
+}
+
+// drainTotalLocked releases the contiguous run of sequenced casts.
+func (p *Process) drainTotalLocked() []*castMsg {
+	var ready []*castMsg
+	for {
+		cm, ok := p.totalBuf[p.nextTotal]
+		if !ok {
+			return ready
+		}
+		delete(p.totalBuf, p.nextTotal)
+		p.nextTotal++
+		ready = append(ready, cm)
+	}
+}
+
+// drainCausalLocked releases every buffered cast whose causal predecessors
+// have been delivered, iterating to a fixpoint.
+func (p *Process) drainCausalLocked() []*castMsg {
+	var ready []*castMsg
+	progress := true
+	for progress {
+		progress = false
+		for i, cm := range p.causalBuf {
+			if cm == nil || !p.causallyDeliverableLocked(cm) {
+				continue
+			}
+			p.vc[cm.Sender] = cm.VC[cm.Sender]
+			ready = append(ready, cm)
+			p.causalBuf[i] = nil
+			progress = true
+		}
+	}
+	compact := p.causalBuf[:0]
+	for _, cm := range p.causalBuf {
+		if cm != nil {
+			compact = append(compact, cm)
+		}
+	}
+	p.causalBuf = compact
+	return ready
+}
+
+func (p *Process) causallyDeliverableLocked(cm *castMsg) bool {
+	if cm.VC[cm.Sender] != p.vc[cm.Sender]+1 {
+		return false
+	}
+	for member, count := range cm.VC {
+		if member == cm.Sender {
+			continue
+		}
+		if count > p.vc[member] {
+			return false
+		}
+	}
+	return true
+}
+
+// deliverAll invokes handlers (outside the lock) and sends replies.
+func (p *Process) deliverAll(msgs []*castMsg) {
+	for _, cm := range msgs {
+		p.mu.Lock()
+		h := p.castHandlers[cm.Kind]
+		p.mu.Unlock()
+		if h == nil {
+			continue
+		}
+		reply, ok := h(cm.Sender, cm.Payload)
+		if ok && cm.WantReply {
+			if wire, err := encode(replyMsg{CastID: cm.ID, From: p.id, Payload: reply}); err == nil {
+				_ = p.ep.Send(cm.ReplyTo, kindReply, wire)
+			}
+		}
+	}
+}
+
+func (p *Process) handleReply(rm replyMsg) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pc, ok := p.pending[rm.CastID]
+	if !ok || pc.closed {
+		return
+	}
+	pc.replies = append(pc.replies, Reply{From: rm.From, Payload: rm.Payload})
+	if len(pc.replies) >= pc.want {
+		pc.closed = true
+		close(pc.done)
+	}
+}
+
+// ReplyTimeout exposes the configured reply window (used by callers to align
+// their own deadlines).
+func (p *Process) ReplyTimeout() time.Duration { return p.cfg.ReplyTimeout }

@@ -1,0 +1,85 @@
+package isis
+
+import (
+	"sync"
+
+	"vce/internal/transport"
+)
+
+// Client is a non-member endpoint that exchanges point-to-point messages
+// with group members. The §5 execution program is such a client: it "executes
+// applications on behalf of a local user" without itself joining the
+// scheduling/dispatching daemon group.
+type Client struct {
+	ep transport.Endpoint
+
+	mu       sync.Mutex
+	handlers map[string]PointHandler
+	closed   bool
+}
+
+// NewClient creates a client endpoint on the network.
+func NewClient(net transport.Network, name string) (*Client, error) {
+	ep, err := net.Endpoint(name)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{ep: ep, handlers: make(map[string]PointHandler)}
+	ep.Handle(func(msg transport.Message) {
+		if msg.Kind != kindPoint {
+			return
+		}
+		var pm pointMsg
+		if decode(msg.Payload, &pm) != nil {
+			return
+		}
+		c.mu.Lock()
+		h := c.handlers[pm.Kind]
+		c.mu.Unlock()
+		if h != nil {
+			h(pm.From, pm.Payload)
+		}
+	})
+	return c, nil
+}
+
+// Addr returns the client's transport address.
+func (c *Client) Addr() transport.Addr { return c.ep.Addr() }
+
+// ID returns the client's identity (== address), usable as a reply target.
+func (c *Client) ID() MemberID { return MemberID(c.ep.Addr()) }
+
+// HandlePoint installs the handler for one application message kind.
+func (c *Client) HandlePoint(kind string, h PointHandler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handlers[kind] = h
+}
+
+// Send delivers an application point-to-point message to any address
+// (group member or fellow client).
+func (c *Client) Send(to transport.Addr, kind string, payload []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrStopped
+	}
+	c.mu.Unlock()
+	wire, err := encode(pointMsg{Kind: kind, From: c.ID(), Payload: payload})
+	if err != nil {
+		return err
+	}
+	return c.ep.Send(to, kindPoint, wire)
+}
+
+// Close detaches the client.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.ep.Close()
+}

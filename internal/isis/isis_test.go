@@ -1,0 +1,629 @@
+package isis
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vce/internal/transport"
+	"vce/internal/vtime"
+)
+
+// eventually polls cond until true or the deadline; protocol progress runs on
+// background dispatcher goroutines, so assertions must be patience-based.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		if cond() {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", what)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// newGroup founds a group and joins n-1 more members over an in-memory
+// network with fast heartbeats.
+func newGroup(t *testing.T, n int) []*Process {
+	t.Helper()
+	net := transport.NewInMem(nil)
+	netMu.Lock()
+	netByGroup["vce"] = net
+	netMu.Unlock()
+	// Heartbeat 20x slower than the detection threshold: false positives
+	// under scheduler jitter would silently reshape views mid-test.
+	cfg := func(i int) Config {
+		return Config{
+			Name:           fmt.Sprintf("m%d", i),
+			HeartbeatEvery: 25 * time.Millisecond,
+			FailAfter:      500 * time.Millisecond,
+			ReplyTimeout:   2 * time.Second,
+		}
+	}
+	procs := make([]*Process, 0, n)
+	founder, err := Found(net, "vce", cfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs = append(procs, founder)
+	for i := 1; i < n; i++ {
+		p, err := Join(net, "vce", founder.Addr(), cfg(i))
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		procs = append(procs, p)
+	}
+	for _, p := range procs {
+		p := p
+		eventually(t, "full view", func() bool { return p.View().Size() == n })
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.Stop()
+		}
+	})
+	return procs
+}
+
+func TestFoundAndJoin(t *testing.T) {
+	procs := newGroup(t, 4)
+	v := procs[0].View()
+	if v.Size() != 4 {
+		t.Fatalf("view size = %d", v.Size())
+	}
+	if !procs[0].IsLeader() {
+		t.Fatal("founder is not leader")
+	}
+	for i := 1; i < 4; i++ {
+		if procs[i].IsLeader() {
+			t.Fatalf("member %d claims leadership", i)
+		}
+	}
+	// Ranks must be join order and views identical everywhere.
+	for _, p := range procs {
+		pv := p.View()
+		if pv.Number != v.Number {
+			t.Fatalf("view numbers differ: %d vs %d", pv.Number, v.Number)
+		}
+		for j, m := range pv.Members {
+			if m.Rank != v.Members[j].Rank || m.ID != v.Members[j].ID {
+				t.Fatalf("views differ at %d", j)
+			}
+		}
+	}
+	if v.Leader().Name != "m0" {
+		t.Fatalf("leader = %s, want m0 (oldest)", v.Leader().Name)
+	}
+}
+
+func TestJoinViaNonLeaderForwards(t *testing.T) {
+	net := transport.NewInMem(nil)
+	cfg := Config{Name: "a", HeartbeatEvery: 25 * time.Millisecond, FailAfter: 500 * time.Millisecond, ReplyTimeout: 2 * time.Second}
+	a, err := Found(net, "g", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	cfg.Name = "b"
+	b, err := Join(net, "g", a.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	// c joins via b, who is not the leader: the request must be forwarded.
+	cfg.Name = "c"
+	c, err := Join(net, "g", b.Addr(), cfg)
+	if err != nil {
+		t.Fatalf("join via non-leader: %v", err)
+	}
+	defer c.Stop()
+	eventually(t, "3-member views", func() bool {
+		return a.View().Size() == 3 && b.View().Size() == 3 && c.View().Size() == 3
+	})
+}
+
+func TestJoinUnknownContactFails(t *testing.T) {
+	net := transport.NewInMem(nil)
+	cfg := Config{Name: "x", ReplyTimeout: 50 * time.Millisecond}
+	if _, err := Join(net, "g", "ghost", cfg); err == nil {
+		t.Fatal("join via dead contact succeeded")
+	}
+}
+
+func TestCastFIFOAllReplies(t *testing.T) {
+	procs := newGroup(t, 5)
+	for i, p := range procs {
+		i := i
+		p.HandleCast("bid", func(from MemberID, payload []byte) ([]byte, bool) {
+			return []byte(fmt.Sprintf("bid-from-%d", i)), true
+		})
+	}
+	replies, err := procs[0].Cast(FIFO, "bid", []byte("need"), AllReplies)
+	if err != nil {
+		t.Fatalf("cast: %v (replies %d)", err, len(replies))
+	}
+	if len(replies) != 5 {
+		t.Fatalf("replies = %d, want 5 (self included)", len(replies))
+	}
+	seen := make(map[string]bool)
+	for _, r := range replies {
+		seen[string(r.Payload)] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("duplicate replies: %v", seen)
+	}
+}
+
+func TestCastKReplies(t *testing.T) {
+	procs := newGroup(t, 6)
+	for _, p := range procs {
+		p.HandleCast("q", func(MemberID, []byte) ([]byte, bool) { return []byte("y"), true })
+	}
+	replies, err := procs[1].Cast(FIFO, "q", nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) < 3 {
+		t.Fatalf("replies = %d, want >= 3", len(replies))
+	}
+}
+
+func TestCastDecliningMembersCauseTimeout(t *testing.T) {
+	procs := newGroup(t, 4)
+	for i, p := range procs {
+		willing := i < 2
+		p.HandleCast("q", func(MemberID, []byte) ([]byte, bool) {
+			return []byte("y"), willing
+		})
+	}
+	short := procs[0]
+	// Shorten the reply window for this test only.
+	short.cfg.ReplyTimeout = 100 * time.Millisecond
+	replies, err := short.Cast(FIFO, "q", nil, AllReplies)
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if len(replies) != 2 {
+		t.Fatalf("partial replies = %d, want 2", len(replies))
+	}
+}
+
+func TestCastNoReplyWanted(t *testing.T) {
+	procs := newGroup(t, 3)
+	var mu sync.Mutex
+	got := 0
+	for _, p := range procs {
+		p.HandleCast("note", func(MemberID, []byte) ([]byte, bool) {
+			mu.Lock()
+			got++
+			mu.Unlock()
+			return nil, false
+		})
+	}
+	replies, err := procs[0].Cast(FIFO, "note", []byte("x"), 0)
+	if err != nil || replies != nil {
+		t.Fatalf("cast = %v, %v", replies, err)
+	}
+	eventually(t, "all deliveries", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return got == 3
+	})
+}
+
+func TestFIFOOrderPerSender(t *testing.T) {
+	procs := newGroup(t, 3)
+	var mu sync.Mutex
+	received := make(map[int][]int) // receiver index -> sequence observed
+	for idx, p := range procs[1:] {
+		idx := idx
+		p.HandleCast("seq", func(from MemberID, payload []byte) ([]byte, bool) {
+			mu.Lock()
+			var v int
+			fmt.Sscanf(string(payload), "%d", &v)
+			received[idx] = append(received[idx], v)
+			mu.Unlock()
+			return nil, false
+		})
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := procs[0].Cast(FIFO, "seq", []byte(fmt.Sprintf("%d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eventually(t, "all FIFO deliveries", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(received[0]) >= n && len(received[1]) >= n
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for recv, seq := range received {
+		if len(seq) != n {
+			t.Fatalf("receiver %d got %d messages, want %d", recv, len(seq), n)
+		}
+		for i := 1; i < len(seq); i++ {
+			if seq[i] != seq[i-1]+1 {
+				t.Fatalf("receiver %d saw out-of-order FIFO: %v", recv, seq)
+			}
+		}
+	}
+}
+
+func TestTotalOrderAgreement(t *testing.T) {
+	procs := newGroup(t, 4)
+	var mu sync.Mutex
+	orders := make(map[int][]string)
+	for i, p := range procs {
+		i := i
+		p.HandleCast("ab", func(from MemberID, payload []byte) ([]byte, bool) {
+			mu.Lock()
+			orders[i] = append(orders[i], string(payload))
+			mu.Unlock()
+			return nil, false
+		})
+	}
+	// Two different senders race abcasts; all members must agree on order.
+	var wg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := procs[s+1].Cast(Total, "ab", []byte(fmt.Sprintf("s%d-%d", s, i)), 0); err != nil {
+					t.Errorf("abcast: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	eventually(t, "all abcast deliveries", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := 0; i < 4; i++ {
+			if len(orders[i]) != 20 {
+				return false
+			}
+		}
+		return true
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	want := orders[0]
+	for i := 1; i < 4; i++ {
+		for j := range want {
+			if orders[i][j] != want[j] {
+				t.Fatalf("member %d order differs at %d: %v vs %v", i, j, orders[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestCausalOrderRespectsHappensBefore(t *testing.T) {
+	procs := newGroup(t, 3)
+	var mu sync.Mutex
+	delivered := make(map[int][]string)
+	release := make(chan struct{})
+	for i, p := range procs {
+		i := i
+		p.HandleCast("c", func(from MemberID, payload []byte) ([]byte, bool) {
+			mu.Lock()
+			delivered[i] = append(delivered[i], string(payload))
+			mu.Unlock()
+			return nil, false
+		})
+		_ = i
+	}
+	close(release)
+	// m1 casts "first"; after observing it, m2 casts "second" (causally
+	// after). No member may deliver "second" before "first".
+	if _, err := procs[1].Cast(Causal, "c", []byte("first"), 0); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "first delivered at m2", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, msg := range delivered[2] {
+			if msg == "first" {
+				return true
+			}
+		}
+		return false
+	})
+	if _, err := procs[2].Cast(Causal, "c", []byte("second"), 0); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "both delivered everywhere", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := 0; i < 3; i++ {
+			if len(delivered[i]) < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < 3; i++ {
+		fi, si := -1, -1
+		for j, msg := range delivered[i] {
+			if msg == "first" {
+				fi = j
+			}
+			if msg == "second" {
+				si = j
+			}
+		}
+		if fi == -1 || si == -1 || fi > si {
+			t.Fatalf("member %d violated causality: %v", i, delivered[i])
+		}
+	}
+}
+
+func TestLeaderFailoverOldestSurvivorTakesOver(t *testing.T) {
+	procs := newGroup(t, 4)
+	leader := procs[0]
+	if !leader.IsLeader() {
+		t.Fatal("unexpected initial leader")
+	}
+	leader.Stop() // crash, no notice
+	eventually(t, "failover to m1", func() bool {
+		return procs[1].IsLeader() && procs[1].View().Size() == 3
+	})
+	// All survivors converge on the same new view.
+	eventually(t, "survivor view convergence", func() bool {
+		v1 := procs[1].View()
+		v2 := procs[2].View()
+		v3 := procs[3].View()
+		return v1.Number == v2.Number && v2.Number == v3.Number &&
+			v1.Size() == 3 && v1.Leader().Name == "m1"
+	})
+	if procs[2].IsLeader() || procs[3].IsLeader() {
+		t.Fatal("younger member claimed leadership")
+	}
+}
+
+func TestCascadedLeaderFailover(t *testing.T) {
+	procs := newGroup(t, 4)
+	procs[0].Stop()
+	eventually(t, "first failover", func() bool { return procs[1].IsLeader() })
+	procs[1].Stop()
+	eventually(t, "second failover", func() bool {
+		return procs[2].IsLeader() && procs[2].View().Size() == 2
+	})
+	if got := procs[3].View().Leader().Name; got != "m2" {
+		t.Fatalf("m3 sees leader %s, want m2", got)
+	}
+}
+
+func TestMemberCrashDetectedByLeader(t *testing.T) {
+	procs := newGroup(t, 4)
+	procs[2].Stop()
+	eventually(t, "crash detected", func() bool {
+		return procs[0].View().Size() == 3 && !procs[0].View().Contains(procs[2].ID())
+	})
+	eventually(t, "view propagated", func() bool {
+		return procs[1].View().Size() == 3 && procs[3].View().Size() == 3
+	})
+}
+
+func TestGracefulLeaveNonLeader(t *testing.T) {
+	procs := newGroup(t, 3)
+	procs[2].Leave()
+	eventually(t, "leave processed", func() bool {
+		return procs[0].View().Size() == 2
+	})
+}
+
+func TestGracefulLeaveLeaderHandsOver(t *testing.T) {
+	procs := newGroup(t, 3)
+	procs[0].Leave()
+	eventually(t, "handover", func() bool {
+		return procs[1].IsLeader() && procs[1].View().Size() == 2
+	})
+}
+
+func TestJoinAfterFailover(t *testing.T) {
+	procs := newGroup(t, 3)
+	procs[0].Stop()
+	eventually(t, "failover", func() bool { return procs[1].IsLeader() })
+	net := transportOf(t, procs[1])
+	cfg := Config{Name: "late", HeartbeatEvery: 25 * time.Millisecond, FailAfter: 500 * time.Millisecond, ReplyTimeout: 2 * time.Second}
+	late, err := Join(net, "vce", procs[1].Addr(), cfg)
+	if err != nil {
+		t.Fatalf("join after failover: %v", err)
+	}
+	defer late.Stop()
+	eventually(t, "joined view", func() bool {
+		return late.View().Size() == 3 && procs[2].View().Size() == 3
+	})
+	// Ranks keep increasing: the newcomer must be youngest.
+	v := late.View()
+	if v.Members[len(v.Members)-1].Name != "late" {
+		t.Fatalf("late joiner is not youngest: %+v", v.Members)
+	}
+}
+
+// transportOf digs the shared in-memory network out of an existing process
+// for late joins in tests.
+func transportOf(t *testing.T, p *Process) transport.Network {
+	t.Helper()
+	// The in-memory network is shared by construction in newGroup; tests
+	// that need it keep a reference. Reconstructing it is impossible, so
+	// newGroup-based tests store it here.
+	netMu.Lock()
+	defer netMu.Unlock()
+	net, ok := netByGroup[p.Group()]
+	if !ok {
+		t.Fatal("no recorded network for group")
+	}
+	return net
+}
+
+var (
+	netMu      sync.Mutex
+	netByGroup = map[string]transport.Network{}
+)
+
+func TestPointToPoint(t *testing.T) {
+	procs := newGroup(t, 3)
+	got := make(chan string, 1)
+	procs[2].HandlePoint("hello", func(from MemberID, payload []byte) {
+		got <- string(payload)
+	})
+	if err := procs[0].Send(procs[2].ID(), "hello", []byte("direct")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "direct" {
+			t.Fatalf("payload = %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("point-to-point message never arrived")
+	}
+}
+
+func TestCastOnStoppedProcess(t *testing.T) {
+	procs := newGroup(t, 2)
+	procs[1].Stop()
+	if _, err := procs[1].Cast(FIFO, "x", nil, 0); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestOnViewChangeImmediateAndOnChange(t *testing.T) {
+	procs := newGroup(t, 2)
+	var mu sync.Mutex
+	var sizes []int
+	procs[0].OnViewChange(func(v View) {
+		mu.Lock()
+		sizes = append(sizes, v.Size())
+		mu.Unlock()
+	})
+	eventually(t, "immediate callback", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(sizes) >= 1 && sizes[0] == 2
+	})
+	procs[1].Stop()
+	eventually(t, "change callback", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(sizes) >= 2 && sizes[len(sizes)-1] == 1
+	})
+}
+
+func TestManualClockFailureDetection(t *testing.T) {
+	// Deterministic failure detection using the manual clock: no real
+	// sleeps are involved in deciding death, only explicit Advance calls.
+	net := transport.NewInMem(nil)
+	clock := vtime.NewManual(time.Unix(0, 0))
+	cfg := func(name string) Config {
+		return Config{Name: name, Clock: clock, HeartbeatEvery: time.Second, FailAfter: 3 * time.Second, ReplyTimeout: time.Minute}
+	}
+	a, err := Found(net, "g", cfg("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	b, err := Join(net, "g", a.Addr(), cfg("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	eventually(t, "two-member view", func() bool { return a.View().Size() == 2 })
+	b.Stop()
+	// Advance past FailAfter in heartbeat steps; message deliveries run on
+	// dispatcher goroutines, so give them a beat between advances.
+	for i := 0; i < 10; i++ {
+		clock.Advance(time.Second)
+		time.Sleep(5 * time.Millisecond)
+	}
+	eventually(t, "manual-clock detection", func() bool { return a.View().Size() == 1 })
+}
+
+func TestViewNumbersMonotonic(t *testing.T) {
+	// Every installed view must carry a strictly larger number than its
+	// predecessor at each member — across joins, crashes and failover.
+	procs := newGroup(t, 5)
+	var mu sync.Mutex
+	last := map[int]int{}
+	for i, p := range procs {
+		i := i
+		p.OnViewChange(func(v View) {
+			mu.Lock()
+			defer mu.Unlock()
+			if prev, ok := last[i]; ok && v.Number <= prev {
+				t.Errorf("member %d: view %d after %d", i, v.Number, prev)
+			}
+			last[i] = v.Number
+		})
+	}
+	procs[4].Leave()
+	procs[0].Stop() // leader crash
+	eventually(t, "post-failover convergence", func() bool {
+		return procs[1].IsLeader() && procs[1].View().Size() == 3
+	})
+}
+
+func TestClientPointToPointWithDaemon(t *testing.T) {
+	procs := newGroup(t, 2)
+	net := transportOf(t, procs[0])
+	client, err := NewClient(net, "outsider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	got := make(chan string, 1)
+	procs[0].HandlePoint("ping", func(from MemberID, payload []byte) {
+		got <- string(payload)
+		// Reply to the raw client address (not a member).
+		_ = procs[0].Send(MemberID(from), "pong", []byte("back"))
+	})
+	reply := make(chan string, 1)
+	client.HandlePoint("pong", func(from MemberID, payload []byte) {
+		reply <- string(payload)
+	})
+	if err := client.Send(procs[0].Addr(), "ping", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "hello" {
+			t.Fatalf("daemon got %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never received client message")
+	}
+	select {
+	case s := <-reply:
+		if s != "back" {
+			t.Fatalf("client got %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never received reply")
+	}
+}
+
+func TestClientSendAfterClose(t *testing.T) {
+	procs := newGroup(t, 1)
+	net := transportOf(t, procs[0])
+	client, err := NewClient(net, "closer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	client.Close() // double close is safe
+	if err := client.Send(procs[0].Addr(), "x", nil); err != ErrStopped {
+		t.Fatalf("send after close = %v, want ErrStopped", err)
+	}
+}

@@ -1,0 +1,301 @@
+package isis
+
+import (
+	"time"
+
+	"vce/internal/transport"
+)
+
+// onMessage is the single inbound dispatch point; the transport invokes it
+// sequentially, which is what keeps the delivery buffers simple.
+func (p *Process) onMessage(msg transport.Message) {
+	switch msg.Kind {
+	case kindJoinReq, kindJoinFwd:
+		var req joinReq
+		if decode(msg.Payload, &req) == nil {
+			p.handleJoin(req)
+		}
+	case kindView:
+		var vm viewMsg
+		if decode(msg.Payload, &vm) == nil {
+			p.handleView(vm)
+		}
+	case kindHeartbeat:
+		var hb hbMsg
+		if decode(msg.Payload, &hb) == nil {
+			p.handleHeartbeat(MemberID(msg.From), hb)
+		}
+	case kindCast:
+		var cm castMsg
+		if decode(msg.Payload, &cm) == nil {
+			p.handleCast(&cm)
+		}
+	case kindABReq:
+		var cm castMsg
+		if decode(msg.Payload, &cm) == nil {
+			p.handleABReq(&cm)
+		}
+	case kindReply:
+		var rm replyMsg
+		if decode(msg.Payload, &rm) == nil {
+			p.handleReply(rm)
+		}
+	case kindLeave:
+		var lm leaveMsg
+		if decode(msg.Payload, &lm) == nil {
+			p.removeMembers([]MemberID{lm.Member})
+		}
+	case kindPoint:
+		var pm pointMsg
+		if decode(msg.Payload, &pm) == nil {
+			p.mu.Lock()
+			h := p.pointHandlers[pm.Kind]
+			p.mu.Unlock()
+			if h != nil {
+				h(pm.From, pm.Payload)
+			}
+		}
+	}
+}
+
+// ---- membership ----
+
+func (p *Process) handleJoin(req joinReq) {
+	p.mu.Lock()
+	if p.stopped || !p.haveView {
+		p.mu.Unlock()
+		return
+	}
+	if !p.isLeaderLocked() {
+		leader := p.view.Leader()
+		p.mu.Unlock()
+		if payload, err := encode(req); err == nil {
+			_ = p.ep.Send(leader.Addr, kindJoinFwd, payload)
+		}
+		return
+	}
+	if p.view.Contains(MemberID(req.Addr)) {
+		// Duplicate join (retransmission): re-announce the current view
+		// so the joiner unblocks.
+		v := p.view.clone()
+		p.mu.Unlock()
+		p.broadcastView(v)
+		return
+	}
+	m := Member{ID: MemberID(req.Addr), Name: req.Name, Addr: req.Addr, Rank: p.nextRank}
+	p.nextRank++
+	v := p.view.clone()
+	v.Number++
+	v.Members = append(v.Members, m)
+	p.lastHB[m.ID] = p.cfg.Clock.Now()
+	p.mu.Unlock()
+	p.broadcastView(v)
+}
+
+func (p *Process) handleView(vm viewMsg) {
+	v := vm.View
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	if !v.Contains(p.id) {
+		// A view that excludes us is either history or an ejection;
+		// in both cases it is not ours to install.
+		p.mu.Unlock()
+		return
+	}
+	accept := false
+	switch {
+	case !p.haveView:
+		accept = true
+	case v.Number > p.view.Number:
+		accept = true
+	case v.Number == p.view.Number && len(v.Members) > 0 && len(p.view.Members) > 0 &&
+		v.Members[0].Rank < p.view.Members[0].Rank:
+		// Competing views with equal numbers: the older issuer wins.
+		accept = true
+	}
+	if accept {
+		if vm.NextTotal > p.nextTotal {
+			p.nextTotal = vm.NextTotal
+		}
+		p.installViewLocked(v)
+	}
+	p.mu.Unlock()
+	if accept {
+		p.mu.Lock()
+		deliverables := p.drainTotalLocked()
+		p.mu.Unlock()
+		p.deliverAll(deliverables)
+	}
+}
+
+// removeMembers ejects ids (leader only) and publishes the new view.
+func (p *Process) removeMembers(ids []MemberID) {
+	p.mu.Lock()
+	if p.stopped || !p.isLeaderLocked() {
+		p.mu.Unlock()
+		return
+	}
+	gone := make(map[MemberID]bool, len(ids))
+	for _, id := range ids {
+		if id != p.id && p.view.Contains(id) {
+			gone[id] = true
+		}
+	}
+	if len(gone) == 0 {
+		p.mu.Unlock()
+		return
+	}
+	v := View{Number: p.view.Number + 1}
+	for _, m := range p.view.Members {
+		if !gone[m.ID] {
+			v.Members = append(v.Members, m)
+		}
+	}
+	for id := range gone {
+		delete(p.lastHB, id)
+	}
+	nextTotal := p.totalSeq + 1
+	p.mu.Unlock()
+	p.broadcastViewWithTotal(v, nextTotal)
+}
+
+func (p *Process) broadcastViewWithTotal(v View, nextTotal uint64) {
+	payload, err := encode(viewMsg{View: v, NextTotal: nextTotal})
+	if err != nil {
+		return
+	}
+	for _, m := range v.Members {
+		_ = p.ep.Send(m.Addr, kindView, payload)
+	}
+}
+
+// ---- failure detection ----
+
+func (p *Process) scheduleTick() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.tick = p.cfg.Clock.AfterFunc(p.cfg.HeartbeatEvery, p.onTick)
+	p.mu.Unlock()
+}
+
+func (p *Process) onTick() {
+	p.mu.Lock()
+	if p.stopped || !p.haveView {
+		p.mu.Unlock()
+		p.scheduleTick()
+		return
+	}
+	now := p.cfg.Clock.Now()
+	isLeader := p.isLeaderLocked()
+	view := p.view.clone()
+	var expired []MemberID
+	takeover := false
+	if isLeader {
+		for _, m := range view.Members {
+			if m.ID == p.id {
+				continue
+			}
+			last, ok := p.lastHB[m.ID]
+			if !ok {
+				p.lastHB[m.ID] = now
+				continue
+			}
+			if now.Sub(last) > p.cfg.FailAfter {
+				expired = append(expired, m.ID)
+			}
+		}
+	} else {
+		// Position among non-leader members staggers takeover so the
+		// oldest surviving member claims leadership first.
+		pos := 0
+		for i, m := range view.Members {
+			if m.ID == p.id {
+				pos = i
+				break
+			}
+		}
+		delay := p.cfg.FailAfter + time.Duration(pos-1)*p.cfg.FailAfter/2
+		if now.Sub(p.leaderSeen) > delay {
+			takeover = true
+		}
+	}
+	p.mu.Unlock()
+
+	// Heartbeats.
+	if hb, err := encode(hbMsg{ViewNumber: view.Number, FromLeader: isLeader}); err == nil {
+		if isLeader {
+			for _, m := range view.Members {
+				if m.ID != p.id {
+					_ = p.ep.Send(m.Addr, kindHeartbeat, hb)
+				}
+			}
+		} else {
+			_ = p.ep.Send(view.Leader().Addr, kindHeartbeat, hb)
+		}
+	}
+
+	if len(expired) > 0 {
+		p.removeMembers(expired)
+	}
+	if takeover {
+		p.takeOver()
+	}
+	p.scheduleTick()
+}
+
+// takeOver is the §5 succession rule: "the oldest surviving member of the
+// group ... assume[s] the role of group leader in case the group leader
+// fails." The caller believes the leader is dead; it publishes a view without
+// the leader, with itself necessarily the oldest remaining member it knows.
+func (p *Process) takeOver() {
+	p.mu.Lock()
+	if p.stopped || !p.haveView || p.isLeaderLocked() {
+		p.mu.Unlock()
+		return
+	}
+	old := p.view.Leader()
+	v := View{Number: p.view.Number + 1}
+	for _, m := range p.view.Members {
+		if m.ID != old.ID {
+			v.Members = append(v.Members, m)
+		}
+	}
+	if len(v.Members) == 0 || v.Members[0].ID != p.id {
+		// A yet-older member survives; its (shorter) stagger will fire.
+		// Reset our patience so we re-evaluate a full period later.
+		p.mu.Unlock()
+		return
+	}
+	// Adopt the sequencer at our delivery point; casts the dead leader
+	// sequenced but never sent are lost, like in-flight Isis messages.
+	p.totalSeq = p.nextTotal - 1
+	nextTotal := p.totalSeq + 1
+	now := p.cfg.Clock.Now()
+	for _, m := range v.Members {
+		p.lastHB[m.ID] = now
+	}
+	p.leaderSeen = now
+	p.mu.Unlock()
+	p.broadcastViewWithTotal(v, nextTotal)
+}
+
+func (p *Process) handleHeartbeat(from MemberID, hb hbMsg) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped || !p.haveView {
+		return
+	}
+	now := p.cfg.Clock.Now()
+	if hb.FromLeader && p.view.Contains(from) && p.view.Leader().ID == from {
+		p.leaderSeen = now
+	}
+	if p.isLeaderLocked() {
+		p.lastHB[from] = now
+	}
+}

@@ -1,0 +1,166 @@
+// Package metrics provides the measurement substrate for VCE experiments:
+// counters, distributions with quantiles, time-weighted gauges (for
+// utilization accounting), and a plain-text table renderer used by the
+// experiment harness to print paper-style result tables.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta; negative deltas panic (counters are monotone).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative counter delta")
+	}
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Dist accumulates a sample distribution and reports summary statistics.
+// Samples are retained, so quantiles are exact; experiment scales here are
+// small enough (≤ millions of samples) that this is the simple correct choice.
+type Dist struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Observe records one sample.
+func (d *Dist) Observe(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+	d.sum += v
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (d *Dist) ObserveDuration(v time.Duration) { d.Observe(v.Seconds()) }
+
+// N returns the sample count.
+func (d *Dist) N() int { return len(d.samples) }
+
+// Sum returns the sample total.
+func (d *Dist) Sum() float64 { return d.sum }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.sum / float64(len(d.samples))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (d *Dist) Min() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	return d.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (d *Dist) Max() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	return d.samples[len(d.samples)-1]
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation.
+func (d *Dist) Quantile(q float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	if q <= 0 {
+		return d.samples[0]
+	}
+	if q >= 1 {
+		return d.samples[len(d.samples)-1]
+	}
+	pos := q * float64(len(d.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return d.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+}
+
+// Stddev returns the population standard deviation.
+func (d *Dist) Stddev() float64 {
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := d.Mean()
+	var ss float64
+	for _, v := range d.samples {
+		dev := v - mean
+		ss += dev * dev
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (d *Dist) ensureSorted() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// TimeWeighted tracks a piecewise-constant value over (virtual) time and
+// integrates it, yielding time-weighted averages. This is the correct way to
+// measure machine utilization and queue lengths in a discrete-event run.
+type TimeWeighted struct {
+	last     time.Duration
+	value    float64
+	integral float64
+	started  bool
+	start    time.Duration
+}
+
+// Set records that the tracked value became v at virtual time now.
+func (tw *TimeWeighted) Set(now time.Duration, v float64) {
+	if !tw.started {
+		tw.started = true
+		tw.start = now
+	} else if now > tw.last {
+		tw.integral += tw.value * float64(now-tw.last)
+	}
+	tw.last = now
+	tw.value = v
+}
+
+// Add adjusts the tracked value by delta at virtual time now.
+func (tw *TimeWeighted) Add(now time.Duration, delta float64) {
+	tw.Set(now, tw.value+delta)
+}
+
+// Value returns the current (instantaneous) value.
+func (tw *TimeWeighted) Value() float64 { return tw.value }
+
+// Average returns the time-weighted mean over [start, now].
+func (tw *TimeWeighted) Average(now time.Duration) float64 {
+	if !tw.started || now <= tw.start {
+		return 0
+	}
+	integral := tw.integral
+	if now > tw.last {
+		integral += tw.value * float64(now-tw.last)
+	}
+	return integral / float64(now-tw.start)
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestDistBasics(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		d.Observe(v)
+	}
+	if d.N() != 5 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if d.Mean() != 3 {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	if d.Min() != 1 || d.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", d.Min(), d.Max())
+	}
+	if d.Sum() != 15 {
+		t.Fatalf("sum = %v", d.Sum())
+	}
+}
+
+func TestDistQuantiles(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Observe(float64(i))
+	}
+	if q := d.Quantile(0.5); math.Abs(q-50.5) > 1e-9 {
+		t.Fatalf("median = %v, want 50.5", q)
+	}
+	if q := d.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := d.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := d.Quantile(0.99); math.Abs(q-99.01) > 1e-9 {
+		t.Fatalf("p99 = %v, want 99.01", q)
+	}
+}
+
+func TestDistQuantileMonotone(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var d Dist
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			d.Observe(v)
+		}
+		qa := math.Mod(math.Abs(a), 1)
+		qb := math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return d.Quantile(qa) <= d.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistObserveAfterQuantile(t *testing.T) {
+	var d Dist
+	d.Observe(10)
+	_ = d.Quantile(0.5)
+	d.Observe(1)
+	if d.Min() != 1 {
+		t.Fatalf("min after late observe = %v", d.Min())
+	}
+}
+
+func TestDistStddev(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		d.Observe(v)
+	}
+	if got := d.Stddev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 || d.Quantile(0.5) != 0 || d.Stddev() != 0 {
+		t.Fatal("empty dist should report zeros")
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	var d Dist
+	d.ObserveDuration(1500 * time.Millisecond)
+	if d.Mean() != 1.5 {
+		t.Fatalf("duration seconds = %v", d.Mean())
+	}
+}
+
+func TestTimeWeightedAverage(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 1)              // value 1 for 10s
+	tw.Set(10*time.Second, 0) // value 0 for 10s
+	tw.Set(20*time.Second, 1) // value 1 for 10s
+	avg := tw.Average(30 * time.Second)
+	if math.Abs(avg-2.0/3.0) > 1e-9 {
+		t.Fatalf("avg = %v, want 2/3", avg)
+	}
+}
+
+func TestTimeWeightedAdd(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 0)
+	tw.Add(5*time.Second, 2)
+	if tw.Value() != 2 {
+		t.Fatalf("value = %v", tw.Value())
+	}
+	avg := tw.Average(10 * time.Second)
+	if math.Abs(avg-1.0) > 1e-9 {
+		t.Fatalf("avg = %v, want 1", avg)
+	}
+}
+
+func TestTimeWeightedBeforeStart(t *testing.T) {
+	var tw TimeWeighted
+	if tw.Average(time.Second) != 0 {
+		t.Fatal("average before any Set should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", 200)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if tb.Cell(0, 1) != "1.5" {
+		t.Fatalf("cell = %q, want 1.5 (trailing zeros trimmed)", tb.Cell(0, 1))
+	}
+	if tb.Cell(1, 1) != "200" {
+		t.Fatalf("cell = %q", tb.Cell(1, 1))
+	}
+}
+
+func TestTableRowsCopy(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	rows := tb.Rows()
+	rows[0][0] = "mutated"
+	if tb.Cell(0, 0) != "x" {
+		t.Fatal("Rows returned aliased storage")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.0:     "1",
+		1.25:    "1.25",
+		0.0001:  "0.0001",
+		100.5:   "100.5",
+		0:       "0",
+		-2.5000: "-2.5",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

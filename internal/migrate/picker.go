@@ -1,0 +1,158 @@
+package migrate
+
+import (
+	"fmt"
+	"time"
+
+	"vce/internal/sim"
+)
+
+// Estimator predicts a migration's effective cost in seconds of delay:
+// downtime plus the time to redo lost work on the destination. The picker
+// uses estimates to choose among applicable strategies — §4.4: "Which of
+// these will be used for any particular migration will depend on the state
+// of the system and the characteristics of the task(s) involved."
+type Estimator interface {
+	Estimate(c *sim.Cluster, t *sim.Task, src, dst *sim.Machine) (time.Duration, error)
+}
+
+// redoTime converts lost work into destination-seconds.
+func redoTime(work float64, dst *sim.Machine) time.Duration {
+	speed := dst.Spec.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	return time.Duration(work / speed * float64(time.Second))
+}
+
+// Estimate implements Estimator: killing a redundant copy costs nothing in
+// delay (a live copy keeps running).
+func (r *Redundant) Estimate(c *sim.Cluster, t *sim.Task, src, dst *sim.Machine) (time.Duration, error) {
+	if err := r.CanMigrate(t, src, dst); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// Estimate implements Estimator: one image transfer, no redone work.
+func (a AddressSpace) Estimate(c *sim.Cluster, t *sim.Task, src, dst *sim.Machine) (time.Duration, error) {
+	if err := a.CanMigrate(t, src, dst); err != nil {
+		return 0, err
+	}
+	return c.TransferTime(src.Name(), dst.Name(), t.ImageBytes)
+}
+
+// Estimate implements Estimator: checkpoint-record transfer plus redoing
+// the work done since the last checkpoint.
+func (k *Checkpointer) Estimate(c *sim.Cluster, t *sim.Task, src, dst *sim.Machine) (time.Duration, error) {
+	if err := k.CanMigrate(t, src, dst); err != nil {
+		return 0, err
+	}
+	var moved int64 = t.ImageBytes
+	path := ckptPath(t.ID)
+	if c.FS.HasCurrent(path, dst.Name()) {
+		moved = 0
+	}
+	transfer, err := c.TransferTime(src.Name(), dst.Name(), moved)
+	if err != nil {
+		return 0, err
+	}
+	if m := t.Machine(); m != nil {
+		m.Sync()
+	}
+	lost := t.DoneWork() - t.CheckpointedWork
+	if lost < 0 {
+		lost = 0
+	}
+	return transfer + redoTime(lost, dst), nil
+}
+
+// Estimate implements Estimator: portable-state transfer plus a compile
+// unless the binary cache is already warm for the destination.
+func (r *Recompile) Estimate(c *sim.Cluster, t *sim.Task, src, dst *sim.Machine) (time.Duration, error) {
+	if err := r.CanMigrate(t, src, dst); err != nil {
+		return 0, err
+	}
+	stateBytes := int64(float64(t.ImageBytes) * r.stateFraction())
+	transfer, err := c.TransferTime(src.Name(), dst.Name(), stateBytes)
+	if err != nil {
+		return 0, err
+	}
+	compile := time.Duration(0)
+	if r.Compiler == nil || r.Program == "" || !r.Compiler.HasBinaryFor(r.Program, dst.Spec) {
+		compile = r.Cost.CompileTime(t.ImageBytes)
+	}
+	return transfer + compile, nil
+}
+
+// Picker is the adaptive strategy: it holds the execution layer's
+// "repertoire" (§4.4) and delegates each migration to the applicable
+// strategy with the lowest estimated cost.
+type Picker struct {
+	// Repertoire lists candidate strategies; each must also implement
+	// Estimator.
+	Repertoire []Strategy
+
+	// Picks counts how often each strategy was chosen, by name.
+	Picks map[string]int
+}
+
+// NewPicker builds an adaptive strategy over the given repertoire.
+func NewPicker(repertoire ...Strategy) (*Picker, error) {
+	if len(repertoire) == 0 {
+		return nil, fmt.Errorf("migrate: empty repertoire")
+	}
+	for _, s := range repertoire {
+		if _, ok := s.(Estimator); !ok {
+			return nil, fmt.Errorf("migrate: strategy %s cannot estimate costs", s.Name())
+		}
+	}
+	return &Picker{Repertoire: repertoire, Picks: make(map[string]int)}, nil
+}
+
+// Name implements Strategy.
+func (p *Picker) Name() string { return "adaptive" }
+
+// CanMigrate implements Strategy: the picker applies wherever any member of
+// the repertoire applies.
+func (p *Picker) CanMigrate(t *sim.Task, src, dst *sim.Machine) error {
+	var lastErr error
+	for _, s := range p.Repertoire {
+		if err := s.CanMigrate(t, src, dst); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	return fmt.Errorf("%w: no applicable strategy (last: %v)", ErrNotApplicable, lastErr)
+}
+
+// Choose returns the applicable strategy with the lowest estimated cost.
+func (p *Picker) Choose(c *sim.Cluster, t *sim.Task, src, dst *sim.Machine) (Strategy, time.Duration, error) {
+	var best Strategy
+	var bestCost time.Duration
+	for _, s := range p.Repertoire {
+		est, err := s.(Estimator).Estimate(c, t, src, dst)
+		if err != nil {
+			continue
+		}
+		if best == nil || est < bestCost {
+			best = s
+			bestCost = est
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("%w: no applicable strategy for %q %s→%s", ErrNotApplicable, t.ID, src.Name(), dst.Name())
+	}
+	return best, bestCost, nil
+}
+
+// Migrate implements Strategy: choose, record, delegate.
+func (p *Picker) Migrate(c *sim.Cluster, t *sim.Task, src, dst *sim.Machine) (Result, error) {
+	best, _, err := p.Choose(c, t, src, dst)
+	if err != nil {
+		return Result{}, err
+	}
+	p.Picks[best.Name()]++
+	return best.Migrate(c, t, src, dst)
+}

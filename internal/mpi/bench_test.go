@@ -1,0 +1,39 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+
+	"vce/internal/channel"
+)
+
+// BenchmarkAllReduce8 measures one AllReduce across 8 ranks.
+func BenchmarkAllReduce8(b *testing.B) {
+	hub := channel.NewHub()
+	w, err := NewWorld(hub, "bench", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comms := make([]*Comm, 8)
+	for r := range comms {
+		comms[r], err = w.Join(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, c := range comms {
+			wg.Add(1)
+			go func(c *Comm) {
+				defer wg.Done()
+				if _, err := c.AllReduce(Sum, 1); err != nil {
+					b.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,355 @@
+// Package mpi is the standard communication library the paper promises for
+// the coding level (§3.1.1: "Support for architecture independent
+// communication between tasks will be provided via standard communication
+// libraries (based on standards such as MPI)") and the runtime (§5: "Later,
+// an MPI library will be added"). It implements the message-passing core —
+// ranked communicators, point-to-point send/receive with tags, and the
+// collective operations (barrier, broadcast, reduce, all-reduce, gather,
+// scatter) — over VCE channels, so everything the runtime manager can do to
+// a channel (monitor, split, redirect, migrate) applies to MPI traffic too.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vce/internal/channel"
+	"vce/internal/proxy"
+)
+
+// World is a communicator: a set of ranked processes over one VCE channel.
+type World struct {
+	name string
+	size int
+	ch   *channel.Channel
+}
+
+// NewWorld creates a communicator of the given size over the hub. Each
+// participating task then calls Join with its rank.
+func NewWorld(hub *channel.Hub, name string, size int) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: communicator size %d", size)
+	}
+	return &World{name: name, size: size, ch: hub.Channel(name)}, nil
+}
+
+// Size returns the communicator size.
+func (w *World) Size() int { return w.size }
+
+// portID names rank r's port on the communicator channel.
+func (w *World) portID(rank int) channel.PortID {
+	return channel.PortID(fmt.Sprintf("%s/rank-%d", w.name, rank))
+}
+
+// Join connects the calling task as the given rank.
+func (w *World) Join(rank int) (*Comm, error) {
+	if rank < 0 || rank >= w.size {
+		return nil, fmt.Errorf("mpi: rank %d out of [0,%d)", rank, w.size)
+	}
+	port, err := w.ch.CreatePort(w.portID(rank))
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rank %d: %w", rank, err)
+	}
+	c := &Comm{world: w, rank: rank, port: port, byTag: make(map[key][][]byte)}
+	c.cond = sync.NewCond(&c.mu)
+	go c.pump()
+	return c, nil
+}
+
+// Comm is one process's handle on a communicator.
+type Comm struct {
+	world *World
+	rank  int
+	port  *channel.Port
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	byTag  map[key][][]byte
+	closed bool
+}
+
+type key struct {
+	src int
+	tag int
+}
+
+// Rank returns this process's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// WaitPeers blocks until every rank of the communicator has joined — the
+// MPI_Init rendezvous. Ranks of one VCE task are dispatched by independent
+// daemons, so they arrive at different times; collectives must not start
+// before the full communicator exists.
+func (c *Comm) WaitPeers(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if len(c.world.ch.Ports()) >= c.world.size {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mpi: rank %d: only %d/%d ranks joined within %v",
+				c.rank, len(c.world.ch.Ports()), c.world.size, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.world.size }
+
+// pump moves channel messages into the tag-matched receive queues.
+func (c *Comm) pump() {
+	for {
+		m, ok := c.port.Recv()
+		if !ok {
+			c.mu.Lock()
+			c.closed = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		src, tag, body, err := decodeFrame(m.Payload)
+		if err != nil {
+			continue // not an MPI frame; ignore
+		}
+		c.mu.Lock()
+		k := key{src: src, tag: tag}
+		c.byTag[k] = append(c.byTag[k], body)
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// Send delivers values to dst with a tag. Values use the proxy package's
+// architecture-independent encoding (§4.2), so MPI messages survive
+// heterogeneous hops.
+func (c *Comm) Send(dst, tag int, values ...interface{}) error {
+	if dst < 0 || dst >= c.world.size {
+		return fmt.Errorf("mpi: send to rank %d of %d", dst, c.world.size)
+	}
+	body, err := proxy.MarshalValues(values)
+	if err != nil {
+		return err
+	}
+	frame := encodeFrame(c.rank, tag, body)
+	return c.port.SendTo(c.world.portID(dst), frame)
+}
+
+// Recv blocks for a message from src with the given tag and returns its
+// decoded values. It returns an error if the communicator closes first.
+func (c *Comm) Recv(src, tag int) ([]interface{}, error) {
+	if src < 0 || src >= c.world.size {
+		return nil, fmt.Errorf("mpi: recv from rank %d of %d", src, c.world.size)
+	}
+	k := key{src: src, tag: tag}
+	c.mu.Lock()
+	for len(c.byTag[k]) == 0 && !c.closed {
+		c.cond.Wait()
+	}
+	if len(c.byTag[k]) == 0 {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("mpi: rank %d: communicator closed", c.rank)
+	}
+	body := c.byTag[k][0]
+	c.byTag[k] = c.byTag[k][1:]
+	c.mu.Unlock()
+	return proxy.UnmarshalValues(body)
+}
+
+// Close disconnects the rank from the communicator.
+func (c *Comm) Close() {
+	c.world.ch.DestroyPort(c.world.portID(c.rank))
+}
+
+// Internal tags for collectives, kept clear of small user tags.
+const (
+	tagBarrier = -1 - iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+)
+
+// Barrier blocks until every rank reaches it. Rank 0 coordinates: it
+// collects one token per rank, then releases everyone.
+func (c *Comm) Barrier() error {
+	if c.rank == 0 {
+		for r := 1; r < c.Size(); r++ {
+			if _, err := c.Recv(r, tagBarrier); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < c.Size(); r++ {
+			if err := c.Send(r, tagBarrier); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(0, tagBarrier); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, tagBarrier)
+	return err
+}
+
+// Bcast distributes root's value to every rank; each rank returns the value.
+func (c *Comm) Bcast(root int, value interface{}) (interface{}, error) {
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagBcast, value); err != nil {
+				return nil, err
+			}
+		}
+		return value, nil
+	}
+	vals, err := c.Recv(root, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return vals[0], nil
+}
+
+// Op combines two reduction operands.
+type Op func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	// Sum adds operands.
+	Sum Op = func(a, b float64) float64 { return a + b }
+	// Max keeps the larger operand.
+	Max Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	// Min keeps the smaller operand.
+	Min Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce combines every rank's contribution at root; only root receives the
+// result (other ranks get 0 and nil error).
+func (c *Comm) Reduce(root int, op Op, value float64) (float64, error) {
+	if c.rank != root {
+		return 0, c.Send(root, tagReduce, value)
+	}
+	acc := value
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		vals, err := c.Recv(r, tagReduce)
+		if err != nil {
+			return 0, err
+		}
+		acc = op(acc, vals[0].(float64))
+	}
+	return acc, nil
+}
+
+// AllReduce combines every rank's contribution and returns the result on
+// every rank (reduce to 0, then broadcast).
+func (c *Comm) AllReduce(op Op, value float64) (float64, error) {
+	acc, err := c.Reduce(0, op, value)
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.Bcast(0, acc)
+	if err != nil {
+		return 0, err
+	}
+	return out.(float64), nil
+}
+
+// Gather collects one value per rank at root, ordered by rank. Non-root
+// ranks receive nil.
+func (c *Comm) Gather(root int, value interface{}) ([]interface{}, error) {
+	if c.rank != root {
+		return nil, c.Send(root, tagGather, value)
+	}
+	out := make([]interface{}, c.Size())
+	out[root] = value
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		vals, err := c.Recv(r, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = vals[0]
+	}
+	return out, nil
+}
+
+// Scatter distributes values[r] to each rank r from root; every rank
+// returns its own piece. len(values) must equal Size() on the root.
+func (c *Comm) Scatter(root int, values []interface{}) (interface{}, error) {
+	if c.rank == root {
+		if len(values) != c.Size() {
+			return nil, fmt.Errorf("mpi: scatter of %d values over %d ranks", len(values), c.Size())
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagScatter, values[r]); err != nil {
+				return nil, err
+			}
+		}
+		return values[root], nil
+	}
+	vals, err := c.Recv(root, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	return vals[0], nil
+}
+
+// Ranks returns all rank port IDs currently connected (for diagnostics).
+func (w *World) Ranks() []string {
+	ids := w.ch.Ports()
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, string(id))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Frame layout: i32 src, i32 tag (both offset-encoded to stay unsigned on
+// the wire), then the marshalled body.
+func encodeFrame(src, tag int, body []byte) []byte {
+	out := make([]byte, 8+len(body))
+	putU32 := func(off int, v uint32) {
+		out[off] = byte(v >> 24)
+		out[off+1] = byte(v >> 16)
+		out[off+2] = byte(v >> 8)
+		out[off+3] = byte(v)
+	}
+	putU32(0, uint32(int32(src)))
+	putU32(4, uint32(int32(tag)))
+	copy(out[8:], body)
+	return out
+}
+
+func decodeFrame(frame []byte) (src, tag int, body []byte, err error) {
+	if len(frame) < 8 {
+		return 0, 0, nil, fmt.Errorf("mpi: short frame")
+	}
+	u32 := func(off int) uint32 {
+		return uint32(frame[off])<<24 | uint32(frame[off+1])<<16 | uint32(frame[off+2])<<8 | uint32(frame[off+3])
+	}
+	return int(int32(u32(0))), int(int32(u32(4))), frame[8:], nil
+}

@@ -1,0 +1,355 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vce/internal/channel"
+)
+
+// spawn runs body once per rank on its own goroutine and returns the first
+// error.
+func spawn(t *testing.T, size int, body func(c *Comm) error) {
+	t.Helper()
+	hub := channel.NewHub()
+	w, err := NewWorld(hub, "test", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := make([]*Comm, size)
+	for r := 0; r < size; r++ {
+		c, err := w.Join(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comms[r] = c
+	}
+	errs := make(chan error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			if err := body(c); err != nil {
+				errs <- fmt.Errorf("rank %d: %w", c.Rank(), err)
+			}
+		}(comms[r])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, c := range comms {
+		c.Close()
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	hub := channel.NewHub()
+	if _, err := NewWorld(hub, "w", 0); err == nil {
+		t.Fatal("zero-size world accepted")
+	}
+	w, err := NewWorld(hub, "w", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Join(-1); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+	if _, err := w.Join(2); err == nil {
+		t.Fatal("rank >= size accepted")
+	}
+	if _, err := w.Join(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Join(0); err == nil {
+		t.Fatal("duplicate rank accepted")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	spawn(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, "payload", int64(42))
+		}
+		vals, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if vals[0] != "payload" || vals[1] != int64(42) {
+			return fmt.Errorf("got %#v", vals)
+		}
+		return nil
+	})
+}
+
+func TestRecvMatchesTag(t *testing.T) {
+	spawn(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Send tag 2 first, then tag 1: receiver asks for tag 1
+			// first and must not see tag 2's payload.
+			if err := c.Send(1, 2, "two"); err != nil {
+				return err
+			}
+			return c.Send(1, 1, "one")
+		}
+		one, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		two, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		if one[0] != "one" || two[0] != "two" {
+			return fmt.Errorf("tag matching broke: %v %v", one, two)
+		}
+		return nil
+	})
+}
+
+func TestRecvMatchesSource(t *testing.T) {
+	spawn(t, 3, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			return c.Send(2, 0, "from0")
+		case 1:
+			return c.Send(2, 0, "from1")
+		default:
+			a, err := c.Recv(1, 0) // ask for rank 1 first
+			if err != nil {
+				return err
+			}
+			b, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			if a[0] != "from1" || b[0] != "from0" {
+				return fmt.Errorf("source matching broke: %v %v", a, b)
+			}
+			return nil
+		}
+	})
+}
+
+func TestSendRecvValidation(t *testing.T) {
+	spawn(t, 2, func(c *Comm) error {
+		if err := c.Send(5, 0, "x"); err == nil {
+			return fmt.Errorf("send to out-of-range rank accepted")
+		}
+		if _, err := c.Recv(9, 0); err == nil {
+			return fmt.Errorf("recv from out-of-range rank accepted")
+		}
+		return nil
+	})
+}
+
+func TestFIFOPerSenderPerTag(t *testing.T) {
+	const n = 50
+	spawn(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 3, int64(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			vals, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if vals[0] != int64(i) {
+				return fmt.Errorf("out of order: got %v want %d", vals[0], i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	var mu sync.Mutex
+	phase := make(map[int]int)
+	spawn(t, 4, func(c *Comm) error {
+		mu.Lock()
+		phase[c.Rank()] = 1
+		mu.Unlock()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// After the barrier every rank must have recorded phase 1.
+		mu.Lock()
+		defer mu.Unlock()
+		for r := 0; r < 4; r++ {
+			if phase[r] != 1 {
+				return fmt.Errorf("rank %d passed barrier before rank %d arrived", c.Rank(), r)
+			}
+		}
+		return nil
+	})
+}
+
+func TestBcast(t *testing.T) {
+	spawn(t, 4, func(c *Comm) error {
+		v := interface{}(nil)
+		if c.Rank() == 2 {
+			v = "announcement"
+		}
+		got, err := c.Bcast(2, v)
+		if err != nil {
+			return err
+		}
+		if got != "announcement" {
+			return fmt.Errorf("bcast got %v", got)
+		}
+		return nil
+	})
+}
+
+func TestReduceSum(t *testing.T) {
+	spawn(t, 5, func(c *Comm) error {
+		got, err := c.Reduce(0, Sum, float64(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && got != 10 { // 0+1+2+3+4
+			return fmt.Errorf("reduce sum = %v, want 10", got)
+		}
+		return nil
+	})
+}
+
+func TestAllReduceMax(t *testing.T) {
+	spawn(t, 4, func(c *Comm) error {
+		got, err := c.AllReduce(Max, float64(c.Rank()*c.Rank()))
+		if err != nil {
+			return err
+		}
+		if got != 9 {
+			return fmt.Errorf("rank %d allreduce max = %v, want 9", c.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestAllReduceMin(t *testing.T) {
+	spawn(t, 3, func(c *Comm) error {
+		got, err := c.AllReduce(Min, float64(c.Rank()+5))
+		if err != nil {
+			return err
+		}
+		if got != 5 {
+			return fmt.Errorf("allreduce min = %v", got)
+		}
+		return nil
+	})
+}
+
+func TestGather(t *testing.T) {
+	spawn(t, 4, func(c *Comm) error {
+		vals, err := c.Gather(1, fmt.Sprintf("r%d", c.Rank()))
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 1 {
+			if vals != nil {
+				return fmt.Errorf("non-root got %v", vals)
+			}
+			return nil
+		}
+		for r := 0; r < 4; r++ {
+			if vals[r] != fmt.Sprintf("r%d", r) {
+				return fmt.Errorf("gather[%d] = %v", r, vals[r])
+			}
+		}
+		return nil
+	})
+}
+
+func TestScatter(t *testing.T) {
+	spawn(t, 3, func(c *Comm) error {
+		var in []interface{}
+		if c.Rank() == 0 {
+			in = []interface{}{int64(10), int64(20), int64(30)}
+		}
+		got, err := c.Scatter(0, in)
+		if err != nil {
+			return err
+		}
+		want := int64(10 * (c.Rank() + 1))
+		if got != want {
+			return fmt.Errorf("scatter piece = %v, want %d", got, want)
+		}
+		return nil
+	})
+}
+
+func TestScatterSizeMismatch(t *testing.T) {
+	hub := channel.NewHub()
+	w, _ := NewWorld(hub, "w", 2)
+	c0, _ := w.Join(0)
+	if _, err := c0.Scatter(0, []interface{}{1}); err == nil {
+		t.Fatal("scatter with wrong value count accepted")
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	hub := channel.NewHub()
+	w, _ := NewWorld(hub, "w", 2)
+	c0, _ := w.Join(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c0.Recv(1, 0)
+		done <- err
+	}()
+	c0.Close()
+	if err := <-done; err == nil {
+		t.Fatal("recv survived communicator close")
+	}
+}
+
+func TestPiByAllReduce(t *testing.T) {
+	// A miniature SPMD program: each rank integrates a slice of
+	// 4/(1+x^2); AllReduce sums the slices.
+	const ranks, steps = 4, 4000
+	spawn(t, ranks, func(c *Comm) error {
+		h := 1.0 / steps
+		local := 0.0
+		for i := c.Rank(); i < steps; i += ranks {
+			x := h * (float64(i) + 0.5)
+			local += 4.0 / (1.0 + x*x) * h
+		}
+		pi, err := c.AllReduce(Sum, local)
+		if err != nil {
+			return err
+		}
+		if pi < 3.14158 || pi > 3.14161 {
+			return fmt.Errorf("pi = %v", pi)
+		}
+		return nil
+	})
+}
+
+func TestWaitPeers(t *testing.T) {
+	hub := channel.NewHub()
+	w, _ := NewWorld(hub, "wp", 2)
+	c0, _ := w.Join(0)
+	if err := c0.WaitPeers(20 * time.Millisecond); err == nil {
+		t.Fatal("WaitPeers succeeded with a missing rank")
+	}
+	done := make(chan error, 1)
+	go func() { done <- c0.WaitPeers(5 * time.Second) }()
+	c1, err := w.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("WaitPeers after join: %v", err)
+	}
+	c0.Close()
+}

@@ -1,0 +1,132 @@
+// Package netsim models the interconnect of a VCE network: per-link latency
+// and bandwidth, with partition injection for fault-tolerance experiments.
+// The cluster simulator uses it to time message deliveries, file staging and
+// migration image copies; the in-memory transport uses it to decide
+// deliverability.
+//
+// Links are symmetric and identified by unordered host pairs. A transfer
+// between a host and itself is free: the paper's channels connect co-located
+// tasks through local memory.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Link describes one host pair's connectivity.
+type Link struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Bandwidth is payload throughput in bytes per second.
+	Bandwidth float64
+}
+
+type pair struct{ a, b string }
+
+func orderedPair(a, b string) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// Model is a thread-safe network model.
+type Model struct {
+	mu          sync.RWMutex
+	def         Link
+	links       map[pair]Link
+	partitioned map[pair]bool
+}
+
+// LAN1994 returns a model shaped like the prototype's environment: a 10 Mb/s
+// Ethernet LAN with ~1 ms software latency. Absolute values only set the
+// scale of results; every experiment reports ratios.
+func LAN1994() *Model {
+	return New(Link{Latency: time.Millisecond, Bandwidth: 1.25e6})
+}
+
+// New returns a model whose unspecified links all behave like def.
+func New(def Link) *Model {
+	return &Model{
+		def:         def,
+		links:       make(map[pair]Link),
+		partitioned: make(map[pair]bool),
+	}
+}
+
+// SetLink overrides the link between hosts a and b.
+func (m *Model) SetLink(a, b string, l Link) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.links[orderedPair(a, b)] = l
+}
+
+// LinkBetween returns the effective link between a and b.
+func (m *Model) LinkBetween(a, b string) Link {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if l, ok := m.links[orderedPair(a, b)]; ok {
+		return l
+	}
+	return m.def
+}
+
+// Partition severs connectivity between a and b.
+func (m *Model) Partition(a, b string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.partitioned[orderedPair(a, b)] = true
+}
+
+// PartitionHost severs connectivity between host and every host in others.
+func (m *Model) PartitionHost(host string, others []string) {
+	for _, o := range others {
+		if o != host {
+			m.Partition(host, o)
+		}
+	}
+}
+
+// Heal restores connectivity between a and b.
+func (m *Model) Heal(a, b string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.partitioned, orderedPair(a, b))
+}
+
+// HealAll removes every partition.
+func (m *Model) HealAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.partitioned = make(map[pair]bool)
+}
+
+// Reachable reports whether a and b can exchange messages.
+func (m *Model) Reachable(a, b string) bool {
+	if a == b {
+		return true
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return !m.partitioned[orderedPair(a, b)]
+}
+
+// TransferTime returns how long moving size bytes from a to b takes:
+// latency + size/bandwidth. It fails across partitions. Local transfers are
+// instantaneous.
+func (m *Model) TransferTime(a, b string, size int64) (time.Duration, error) {
+	if a == b {
+		return 0, nil
+	}
+	if !m.Reachable(a, b) {
+		return 0, fmt.Errorf("netsim: %s and %s are partitioned", a, b)
+	}
+	l := m.LinkBetween(a, b)
+	d := l.Latency
+	if size > 0 && l.Bandwidth > 0 {
+		d += time.Duration(float64(size) / l.Bandwidth * float64(time.Second))
+	}
+	return d, nil
+}

@@ -1,0 +1,336 @@
+// Package sched implements the execution-layer scheduling machinery of §4.3:
+// bid ranking for the Figure 3 protocol, placement policies (the
+// throughput-first policy of the paper against a per-job greedy baseline),
+// and the aging priority queue that prevents starvation ("as a task waits to
+// be dispatched its priority will be increased to insure it will eventually
+// be dispatched even if that results in a globally suboptimal schedule").
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"vce/internal/arch"
+	"vce/internal/taskgraph"
+)
+
+// Bid is one daemon's answer in the bidding protocol: "Each bid includes the
+// current load of the bidding machine" (§5).
+type Bid struct {
+	// Machine is the bidding machine's name.
+	Machine string
+	// Load is the machine's current load (runnable work per unit
+	// capacity; 0 is idle).
+	Load float64
+	// Capacity is how many additional VCE tasks the machine will accept.
+	Capacity int
+}
+
+// RankBids orders bids by ascending load (ties by name) — the prototype
+// group leader's sortBidsByLoad.
+func RankBids(bids []Bid) []Bid {
+	out := append([]Bid(nil), bids...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Load != out[j].Load {
+			return out[i].Load < out[j].Load
+		}
+		return out[i].Machine < out[j].Machine
+	})
+	return out
+}
+
+// SelectBest picks machines for n task instances from the ranked bids,
+// honouring per-bid capacity. Allocation is breadth-first across the ranking
+// — one instance per machine per pass, least-loaded first — so multiple
+// instances spread over "the least loaded processors" (plural, §5) instead
+// of piling onto the single best bidder. ok=false reproduces the prototype's
+// allocation failure: "If the group leader receives fewer responses than
+// needed a failure indication is sent to the execution program."
+func SelectBest(bids []Bid, n int) (machines []string, ok bool) {
+	ranked := RankBids(bids)
+	remaining := make([]int, len(ranked))
+	total := 0
+	for i, b := range ranked {
+		remaining[i] = b.Capacity
+		total += b.Capacity
+	}
+	for len(machines) < n && total > 0 {
+		for i := range ranked {
+			if len(machines) == n {
+				break
+			}
+			if remaining[i] > 0 {
+				remaining[i]--
+				total--
+				machines = append(machines, ranked[i].Machine)
+			}
+		}
+	}
+	return machines, len(machines) == n
+}
+
+// MachineState is a scheduler's snapshot of one machine.
+type MachineState struct {
+	// Machine is the hardware description.
+	Machine arch.Machine
+	// Load is current utilization (local + remote demand).
+	Load float64
+	// Slots is how many additional tasks this machine accepts in this
+	// placement round.
+	Slots int
+}
+
+// Item is one task instance awaiting placement.
+type Item struct {
+	// Task is the owning task.
+	Task taskgraph.TaskID
+	// Instance distinguishes multiple copies of the same task.
+	Instance int
+	// Candidates lists admissible machine names (already filtered by
+	// requirements).
+	Candidates []string
+	// Work is the instance's expected work, used by cost heuristics.
+	Work float64
+}
+
+// Assignment binds a task instance to a machine.
+type Assignment struct {
+	// Task and Instance identify the placed item.
+	Task     taskgraph.TaskID
+	Instance int
+	// Machine is the chosen host.
+	Machine string
+}
+
+// Policy places a batch of task instances onto machines.
+type Policy interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Place returns assignments and the items it chose to leave waiting.
+	// Implementations must not mutate items; machines' Slots are
+	// consumed as assignments are made.
+	Place(items []Item, machines []MachineState) ([]Assignment, []Item)
+}
+
+// GreedyBestFit optimizes each job in isolation: every item takes the
+// fastest, least-loaded admissible machine available. This is the baseline
+// §4.3 argues against — it will burn the uniquely-capable "machine A" on a
+// task that could run anywhere.
+type GreedyBestFit struct{}
+
+// Name implements Policy.
+func (GreedyBestFit) Name() string { return "greedy-best-fit" }
+
+// Place implements Policy.
+func (GreedyBestFit) Place(items []Item, machines []MachineState) ([]Assignment, []Item) {
+	state := indexMachines(machines)
+	var placed []Assignment
+	var waiting []Item
+	for _, it := range items {
+		best := ""
+		bestScore := -1.0
+		for _, cand := range it.Candidates {
+			ms, ok := state[cand]
+			if !ok || ms.Slots <= 0 {
+				continue
+			}
+			score := ms.Machine.Speed / (1 + ms.Load)
+			if score > bestScore {
+				bestScore = score
+				best = cand
+			}
+		}
+		if best == "" {
+			waiting = append(waiting, it)
+			continue
+		}
+		state[best].Slots--
+		state[best].Load += loadIncrement(it, state[best].Machine)
+		placed = append(placed, Assignment{Task: it.Task, Instance: it.Instance, Machine: best})
+	}
+	return placed, waiting
+}
+
+// UtilizationFirst is the paper's policy: "tend to give preference to
+// schedules that maximize overall resource utilization (and therefore
+// maximize system throughput) rather than schedules that optimize the
+// performance of any single job."
+//
+// Constrained items (fewest candidate machines) place first; flexible items
+// then avoid machines that are the unique hosts of still-waiting constrained
+// items, waiting instead if no other machine is free — the §4.3 example where
+// the portable task yields machine A and "should be made to wait" because it
+// "can be used to occupy a workstation if one becomes idle."
+type UtilizationFirst struct{}
+
+// Name implements Policy.
+func (UtilizationFirst) Name() string { return "utilization-first" }
+
+// Place implements Policy.
+func (UtilizationFirst) Place(items []Item, machines []MachineState) ([]Assignment, []Item) {
+	state := indexMachines(machines)
+	// Scarcest-capability first; ties keep submission order.
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(items[order[a]].Candidates) < len(items[order[b]].Candidates)
+	})
+
+	// scarceDemand[machine] counts waiting constrained items for which
+	// that machine is the only candidate.
+	scarceDemand := make(map[string]int)
+	for _, it := range items {
+		if len(it.Candidates) == 1 {
+			scarceDemand[it.Candidates[0]]++
+		}
+	}
+
+	var placed []Assignment
+	var waiting []Item
+	for _, idx := range order {
+		it := items[idx]
+		constrained := len(it.Candidates) == 1
+		best := ""
+		bestScore := -1.0
+		for _, cand := range it.Candidates {
+			ms, ok := state[cand]
+			if !ok || ms.Slots <= 0 {
+				continue
+			}
+			if !constrained && scarceDemand[cand] > 0 {
+				// Reserved for a task that can run nowhere else.
+				continue
+			}
+			score := ms.Machine.Speed / (1 + ms.Load)
+			if score > bestScore {
+				bestScore = score
+				best = cand
+			}
+		}
+		if best == "" {
+			waiting = append(waiting, it)
+			continue
+		}
+		if constrained {
+			scarceDemand[best]--
+		}
+		state[best].Slots--
+		state[best].Load += loadIncrement(it, state[best].Machine)
+		placed = append(placed, Assignment{Task: it.Task, Instance: it.Instance, Machine: best})
+	}
+	return placed, waiting
+}
+
+func indexMachines(machines []MachineState) map[string]*MachineState {
+	state := make(map[string]*MachineState, len(machines))
+	for i := range machines {
+		ms := machines[i] // copy: policies must not mutate caller state
+		state[ms.Machine.Name] = &ms
+	}
+	return state
+}
+
+// loadIncrement estimates how much an item raises a machine's load, scaling
+// inversely with speed so fast machines absorb work more gracefully.
+func loadIncrement(it Item, m arch.Machine) float64 {
+	if m.Speed <= 0 {
+		return 1
+	}
+	if it.Work <= 0 {
+		return 1 / m.Speed
+	}
+	return it.Work / (it.Work + m.Speed) / m.Speed * 2
+}
+
+// AgingQueue is the §4.3 anti-starvation dispatcher queue: effective
+// priority = base priority + aging rate × wait time, so every task is
+// eventually dispatched.
+type AgingQueue struct {
+	// rate is priority points added per second of waiting.
+	rate    float64
+	entries []agingEntry
+}
+
+type agingEntry struct {
+	id       string
+	base     float64
+	enqueued time.Duration
+}
+
+// NewAgingQueue returns a queue with the given aging rate (points/second).
+// A zero rate disables aging (pure static priority — the starvation-prone
+// baseline the experiments compare against).
+func NewAgingQueue(rate float64) *AgingQueue {
+	return &AgingQueue{rate: rate}
+}
+
+// Push enqueues a task with a base priority at virtual time now.
+func (q *AgingQueue) Push(id string, base float64, now time.Duration) {
+	q.entries = append(q.entries, agingEntry{id: id, base: base, enqueued: now})
+}
+
+// Len returns the queued count.
+func (q *AgingQueue) Len() int { return len(q.entries) }
+
+// Effective returns the entry's current effective priority.
+func (q *AgingQueue) effective(e agingEntry, now time.Duration) float64 {
+	return e.base + q.rate*(now-e.enqueued).Seconds()
+}
+
+// Peek returns the id that Pop would return, without removing it.
+func (q *AgingQueue) Peek(now time.Duration) (string, bool) {
+	idx := q.best(now)
+	if idx < 0 {
+		return "", false
+	}
+	return q.entries[idx].id, true
+}
+
+// Pop removes and returns the highest effective-priority task. FIFO order
+// breaks ties, which itself prevents starvation among equal priorities.
+func (q *AgingQueue) Pop(now time.Duration) (string, bool) {
+	idx := q.best(now)
+	if idx < 0 {
+		return "", false
+	}
+	id := q.entries[idx].id
+	q.entries = append(q.entries[:idx], q.entries[idx+1:]...)
+	return id, true
+}
+
+func (q *AgingQueue) best(now time.Duration) int {
+	idx := -1
+	bestP := 0.0
+	for i, e := range q.entries {
+		p := q.effective(e, now)
+		if idx < 0 || p > bestP {
+			idx = i
+			bestP = p
+		}
+	}
+	return idx
+}
+
+// Boost raises a queued task's base priority — the §4.3 "authorized users
+// will be able to modify the priorities of particular applications" hook.
+// It reports whether the task was found.
+func (q *AgingQueue) Boost(id string, delta float64) bool {
+	for i := range q.entries {
+		if q.entries[i].id == id {
+			q.entries[i].base += delta
+			return true
+		}
+	}
+	return false
+}
+
+// WaitTimes reports each queued task's wait so far, for starvation metrics.
+func (q *AgingQueue) WaitTimes(now time.Duration) map[string]time.Duration {
+	out := make(map[string]time.Duration, len(q.entries))
+	for _, e := range q.entries {
+		out[e.id] = now - e.enqueued
+	}
+	return out
+}

@@ -1,0 +1,347 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vce/internal/arch"
+	"vce/internal/taskgraph"
+)
+
+func ws(name string, speed float64, load float64, slots int) MachineState {
+	return MachineState{
+		Machine: arch.Machine{Name: name, Class: arch.Workstation, Speed: speed, OS: "unix"},
+		Load:    load,
+		Slots:   slots,
+	}
+}
+
+func TestRankBidsByLoad(t *testing.T) {
+	bids := []Bid{
+		{Machine: "c", Load: 0.9, Capacity: 1},
+		{Machine: "a", Load: 0.1, Capacity: 1},
+		{Machine: "b", Load: 0.5, Capacity: 1},
+	}
+	ranked := RankBids(bids)
+	if ranked[0].Machine != "a" || ranked[1].Machine != "b" || ranked[2].Machine != "c" {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	// Input left untouched.
+	if bids[0].Machine != "c" {
+		t.Fatal("RankBids mutated input")
+	}
+}
+
+func TestRankBidsTieBreak(t *testing.T) {
+	ranked := RankBids([]Bid{{Machine: "z", Load: 0.5}, {Machine: "a", Load: 0.5}})
+	if ranked[0].Machine != "a" {
+		t.Fatalf("tie-break = %v", ranked)
+	}
+}
+
+func TestSelectBestLeastLoaded(t *testing.T) {
+	bids := []Bid{
+		{Machine: "busy", Load: 2.0, Capacity: 4},
+		{Machine: "idle", Load: 0.0, Capacity: 1},
+		{Machine: "mid", Load: 0.7, Capacity: 1},
+	}
+	machines, ok := SelectBest(bids, 2)
+	if !ok {
+		t.Fatal("selection failed")
+	}
+	if machines[0] != "idle" || machines[1] != "mid" {
+		t.Fatalf("selected %v, want least-loaded first", machines)
+	}
+}
+
+func TestSelectBestRespectsCapacity(t *testing.T) {
+	bids := []Bid{{Machine: "a", Load: 0, Capacity: 3}}
+	machines, ok := SelectBest(bids, 3)
+	if !ok || len(machines) != 3 {
+		t.Fatalf("capacity reuse failed: %v %v", machines, ok)
+	}
+	if _, ok := SelectBest(bids, 4); ok {
+		t.Fatal("selection exceeded capacity")
+	}
+}
+
+func TestSelectBestInsufficientIsAllocError(t *testing.T) {
+	machines, ok := SelectBest([]Bid{{Machine: "a", Load: 0, Capacity: 1}}, 2)
+	if ok {
+		t.Fatal("insufficient resources reported success")
+	}
+	if len(machines) != 1 {
+		t.Fatalf("partial result = %v", machines)
+	}
+}
+
+// machineAScenario reproduces §4.3's example: task "pinned" runs only on
+// machine A; task "portable" runs anywhere but fastest on machine A.
+func machineAScenario() ([]Item, []MachineState) {
+	items := []Item{
+		{Task: "portable", Candidates: []string{"A", "B"}, Work: 10},
+		{Task: "pinned", Candidates: []string{"A"}, Work: 10},
+	}
+	machines := []MachineState{
+		ws("A", 4, 0, 1), // fast, uniquely capable
+		ws("B", 1, 0, 1), // slow but universal
+	}
+	return items, machines
+}
+
+func TestUtilizationFirstSolvesMachineA(t *testing.T) {
+	items, machines := machineAScenario()
+	placed, waiting := UtilizationFirst{}.Place(items, machines)
+	got := map[taskgraph.TaskID]string{}
+	for _, a := range placed {
+		got[a.Task] = a.Machine
+	}
+	if got["pinned"] != "A" {
+		t.Fatalf("pinned placed on %q, want A", got["pinned"])
+	}
+	if got["portable"] != "B" {
+		t.Fatalf("portable placed on %q, want B (yield A to the pinned task)", got["portable"])
+	}
+	if len(waiting) != 0 {
+		t.Fatalf("waiting = %v", waiting)
+	}
+}
+
+func TestGreedyBestFitBurnsMachineA(t *testing.T) {
+	// The baseline takes A for the portable task (it is fastest there),
+	// leaving the pinned task stranded — exactly the failure §4.3
+	// describes.
+	items, machines := machineAScenario()
+	placed, waiting := GreedyBestFit{}.Place(items, machines)
+	got := map[taskgraph.TaskID]string{}
+	for _, a := range placed {
+		got[a.Task] = a.Machine
+	}
+	if got["portable"] != "A" {
+		t.Fatalf("greedy portable on %q, expected it to grab A", got["portable"])
+	}
+	if len(waiting) != 1 || waiting[0].Task != "pinned" {
+		t.Fatalf("waiting = %v, want the pinned task stranded", waiting)
+	}
+}
+
+func TestUtilizationFirstFlexibleWaitsWhenOnlyScarceMachineFree(t *testing.T) {
+	// One machine, demanded by a constrained task; the flexible task must
+	// wait even though the machine could host it ("the second job should
+	// be made to wait", §4.3).
+	items := []Item{
+		{Task: "flexible", Candidates: []string{"A"}, Work: 1},
+		{Task: "pinned", Candidates: []string{"A"}, Work: 1},
+	}
+	// Both claim only A here; make flexible truly flexible:
+	items[0].Candidates = []string{"A", "Bgone"} // B not in machine set
+	machines := []MachineState{ws("A", 1, 0, 1)}
+	placed, waiting := UtilizationFirst{}.Place(items, machines)
+	if len(placed) != 1 || placed[0].Task != "pinned" {
+		t.Fatalf("placed = %v, want only pinned", placed)
+	}
+	if len(waiting) != 1 || waiting[0].Task != "flexible" {
+		t.Fatalf("waiting = %v", waiting)
+	}
+}
+
+func TestUtilizationFirstUsesScarceMachineWhenNoScarceDemand(t *testing.T) {
+	items := []Item{{Task: "flexible", Candidates: []string{"A", "B"}, Work: 1}}
+	machines := []MachineState{ws("A", 4, 0, 1), ws("B", 1, 0, 1)}
+	placed, waiting := UtilizationFirst{}.Place(items, machines)
+	if len(waiting) != 0 || len(placed) != 1 {
+		t.Fatalf("placed=%v waiting=%v", placed, waiting)
+	}
+	if placed[0].Machine != "A" {
+		t.Fatalf("flexible should take the fast machine when nobody scarce needs it, got %q", placed[0].Machine)
+	}
+}
+
+func TestPlaceRespectsSlots(t *testing.T) {
+	items := []Item{
+		{Task: "t1", Candidates: []string{"A"}},
+		{Task: "t2", Candidates: []string{"A"}},
+	}
+	machines := []MachineState{ws("A", 1, 0, 1)}
+	for _, pol := range []Policy{GreedyBestFit{}, UtilizationFirst{}} {
+		placed, waiting := pol.Place(items, machines)
+		if len(placed) != 1 || len(waiting) != 1 {
+			t.Fatalf("%s: placed=%d waiting=%d, want 1/1", pol.Name(), len(placed), len(waiting))
+		}
+	}
+}
+
+func TestPlaceDoesNotMutateCallerMachines(t *testing.T) {
+	items := []Item{{Task: "t", Candidates: []string{"A"}}}
+	machines := []MachineState{ws("A", 1, 0, 1)}
+	_, _ = UtilizationFirst{}.Place(items, machines)
+	if machines[0].Slots != 1 {
+		t.Fatal("policy mutated caller's machine state")
+	}
+}
+
+func TestPlaceUnknownCandidateSkipped(t *testing.T) {
+	items := []Item{{Task: "t", Candidates: []string{"ghost"}}}
+	machines := []MachineState{ws("A", 1, 0, 1)}
+	placed, waiting := GreedyBestFit{}.Place(items, machines)
+	if len(placed) != 0 || len(waiting) != 1 {
+		t.Fatal("item with unknown candidates should wait")
+	}
+}
+
+func TestMultiInstancePlacementSpreads(t *testing.T) {
+	items := []Item{
+		{Task: "mc", Instance: 0, Candidates: []string{"A", "B", "C"}},
+		{Task: "mc", Instance: 1, Candidates: []string{"A", "B", "C"}},
+		{Task: "mc", Instance: 2, Candidates: []string{"A", "B", "C"}},
+	}
+	machines := []MachineState{ws("A", 1, 0, 1), ws("B", 1, 0, 1), ws("C", 1, 0, 1)}
+	placed, waiting := UtilizationFirst{}.Place(items, machines)
+	if len(placed) != 3 || len(waiting) != 0 {
+		t.Fatalf("placed=%d waiting=%d", len(placed), len(waiting))
+	}
+	used := map[string]bool{}
+	for _, a := range placed {
+		used[a.Machine] = true
+	}
+	if len(used) != 3 {
+		t.Fatalf("instances piled up: %v", placed)
+	}
+}
+
+func TestAgingQueueFIFOAmongEqual(t *testing.T) {
+	q := NewAgingQueue(1)
+	q.Push("first", 0, 0)
+	q.Push("second", 0, 0)
+	id, ok := q.Pop(time.Second)
+	if !ok || id != "first" {
+		t.Fatalf("pop = %q", id)
+	}
+}
+
+func TestAgingQueuePriorityWins(t *testing.T) {
+	q := NewAgingQueue(0)
+	q.Push("low", 1, 0)
+	q.Push("high", 10, 0)
+	id, _ := q.Pop(0)
+	if id != "high" {
+		t.Fatalf("pop = %q", id)
+	}
+}
+
+func TestAgingOvertakesStaticPriority(t *testing.T) {
+	q := NewAgingQueue(1) // 1 point per second
+	q.Push("old-low", 0, 0)
+	q.Push("new-high", 5, 0)
+	// At t=0 the high-priority task wins; but if we only query later,
+	// both aged equally, so high still wins.
+	if id, _ := q.Peek(0); id != "new-high" {
+		t.Fatalf("peek = %q", id)
+	}
+	// Re-push high repeatedly (fresh arrivals), old-low must still win
+	// eventually because its age keeps growing.
+	q2 := NewAgingQueue(1)
+	q2.Push("starving", 0, 0)
+	winner := ""
+	for s := 1; s <= 20; s++ {
+		now := time.Duration(s) * time.Second
+		q2.Push("fresh", 5, now)
+		id, _ := q2.Pop(now)
+		if id == "starving" {
+			winner = id
+			break
+		}
+	}
+	if winner != "starving" {
+		t.Fatal("aged task never dispatched: starvation")
+	}
+}
+
+func TestNoAgingStarves(t *testing.T) {
+	q := NewAgingQueue(0) // aging disabled
+	q.Push("starving", 0, 0)
+	for s := 1; s <= 50; s++ {
+		now := time.Duration(s) * time.Second
+		q.Push("fresh", 5, now)
+		id, _ := q.Pop(now)
+		if id == "starving" {
+			t.Fatal("static priority unexpectedly dispatched the low task")
+		}
+	}
+	if q.Len() != 1 {
+		t.Fatalf("queue len = %d, want 1 (the starving task)", q.Len())
+	}
+}
+
+func TestBoost(t *testing.T) {
+	q := NewAgingQueue(0)
+	q.Push("app", 0, 0)
+	q.Push("other", 5, 0)
+	if !q.Boost("app", 100) {
+		t.Fatal("boost failed to find task")
+	}
+	if q.Boost("ghost", 1) {
+		t.Fatal("boost found a ghost")
+	}
+	id, _ := q.Pop(0)
+	if id != "app" {
+		t.Fatalf("boosted task not dispatched first: %q", id)
+	}
+}
+
+func TestWaitTimes(t *testing.T) {
+	q := NewAgingQueue(1)
+	q.Push("a", 0, 0)
+	q.Push("b", 0, 5*time.Second)
+	waits := q.WaitTimes(10 * time.Second)
+	if waits["a"] != 10*time.Second || waits["b"] != 5*time.Second {
+		t.Fatalf("waits = %v", waits)
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	q := NewAgingQueue(1)
+	if _, ok := q.Pop(0); ok {
+		t.Fatal("pop on empty queue succeeded")
+	}
+	if _, ok := q.Peek(0); ok {
+		t.Fatal("peek on empty queue succeeded")
+	}
+}
+
+func TestPropertySelectBestNeverExceedsCapacity(t *testing.T) {
+	f := func(caps []uint8, n uint8) bool {
+		var bids []Bid
+		total := 0
+		for i, c := range caps {
+			if i >= 10 {
+				break
+			}
+			cap := int(c % 5)
+			total += cap
+			bids = append(bids, Bid{Machine: string(rune('a' + i)), Load: float64(i), Capacity: cap})
+		}
+		want := int(n%16) + 1
+		machines, ok := SelectBest(bids, want)
+		if ok && len(machines) != want {
+			return false
+		}
+		if !ok && len(machines) >= want {
+			return false
+		}
+		counts := map[string]int{}
+		for _, m := range machines {
+			counts[m]++
+		}
+		for _, b := range bids {
+			if counts[b.Machine] > b.Capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package sdm implements the Software Development Module of §3.1.1: the
+// three layers that progressively annotate a task graph before the execution
+// module sees it.
+//
+//   - The problem specification layer "extract[s] the requirements of the
+//     problem to be solved and formaliz[es] its functional flow" — Spec.Graph
+//     builds the initial task graph.
+//   - The design stage classifies each task into Fox's problem architectures
+//     (synchronous / loosely synchronous / asynchronous) and records the
+//     "other classes that capture the nature of the task, such as graphic or
+//     interactive".
+//   - The coding level parallelizes tasks "using architecture independent
+//     languages" (HPF, HPC++, C+MPI) and binds communication to channels.
+//
+// Hints recorded along the way let the EXM "do extra optimization", e.g.
+// dispatching the longest functionally-parallel module first.
+package sdm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vce/internal/arch"
+	"vce/internal/taskgraph"
+)
+
+// TaskSpec describes one functional component in a problem specification.
+type TaskSpec struct {
+	// Name is the task identifier.
+	Name string
+	// Program is the program path the task will run.
+	Program string
+	// Instances is the number of copies (default 1).
+	Instances int
+	// MaxInstances optionally allows more copies when machines are idle.
+	MaxInstances int
+	// Nature tags the task ("graphic", "interactive", "dataparallel",
+	// "montecarlo", ...).
+	Nature []string
+	// WorkUnits is the computation volume per instance.
+	WorkUnits float64
+	// ImageBytes sizes the task's binary/address-space image.
+	ImageBytes int64
+	// Inputs and Outputs are vfs file paths.
+	Inputs, Outputs []string
+	// Local runs the task on the user's workstation.
+	Local bool
+	// ExpectedRuntime is the user's runtime estimate.
+	ExpectedRuntime time.Duration
+	// Problem optionally pre-classifies the task; the design stage fills
+	// it in when absent.
+	Problem arch.ProblemClass
+}
+
+// Flow is a communication relationship (stream arc) between two tasks.
+type Flow struct {
+	// From and To name tasks.
+	From, To string
+	// Channel optionally names the connecting channel.
+	Channel string
+}
+
+// Dep is a synchronization relationship: To starts after From completes.
+type Dep struct {
+	// From completes before To starts.
+	From, To string
+}
+
+// Spec is a problem specification: the input to the SDM pipeline.
+type Spec struct {
+	// Name identifies the application.
+	Name string
+	// Tasks lists the functional components.
+	Tasks []TaskSpec
+	// Flows lists communication relationships.
+	Flows []Flow
+	// Deps lists synchronization relationships.
+	Deps []Dep
+}
+
+// Graph materializes the problem-specification layer: the initial task graph.
+func (s Spec) Graph() (*taskgraph.Graph, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("sdm: specification needs a name")
+	}
+	g := taskgraph.New(s.Name)
+	for _, ts := range s.Tasks {
+		t := taskgraph.Task{
+			ID:           taskgraph.TaskID(ts.Name),
+			Program:      ts.Program,
+			Problem:      ts.Problem,
+			Nature:       append([]string(nil), ts.Nature...),
+			MinInstances: ts.Instances,
+			MaxInstances: ts.MaxInstances,
+			WorkUnits:    ts.WorkUnits,
+			ImageBytes:   ts.ImageBytes,
+			InputFiles:   append([]string(nil), ts.Inputs...),
+			OutputFiles:  append([]string(nil), ts.Outputs...),
+			Local:        ts.Local,
+			Hint:         taskgraph.Hints{ExpectedRuntime: ts.ExpectedRuntime},
+		}
+		if err := g.AddTask(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range s.Flows {
+		arcErr := g.AddArc(taskgraph.Arc{From: taskgraph.TaskID(f.From), To: taskgraph.TaskID(f.To), Kind: taskgraph.Stream, Channel: f.Channel})
+		if arcErr != nil {
+			return nil, arcErr
+		}
+	}
+	for _, d := range s.Deps {
+		if err := g.AddArc(taskgraph.Arc{From: taskgraph.TaskID(d.From), To: taskgraph.TaskID(d.To), Kind: taskgraph.Precedence}); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Decision records one design-stage classification, for the report the
+// design tools would display.
+type Decision struct {
+	// Task is the classified task.
+	Task taskgraph.TaskID
+	// Problem is the assigned class.
+	Problem arch.ProblemClass
+	// Reason explains the classification.
+	Reason string
+}
+
+// Design runs the design-stage analysis: it assigns a problem-architecture
+// class to every unclassified task, "concentrat[ing] on the architecture of
+// the problem and not the machine", and fills in machine-class requirements
+// from the problem class.
+func Design(g *taskgraph.Graph) ([]Decision, error) {
+	var decisions []Decision
+	for _, t := range g.Tasks() {
+		reason := "explicitly classified"
+		if t.Problem == arch.ProblemUnknown {
+			t.Problem, reason = classify(g, t)
+		}
+		if len(t.Requirements.Classes) == 0 {
+			if t.Local {
+				t.Requirements.Classes = []arch.Class{arch.Workstation}
+			} else {
+				t.Requirements.Classes = t.Problem.MachineClasses()
+			}
+		}
+		if err := g.UpdateTask(t); err != nil {
+			return nil, err
+		}
+		decisions = append(decisions, Decision{Task: t.ID, Problem: t.Problem, Reason: reason})
+	}
+	return decisions, nil
+}
+
+// classify infers the temporal structure of a task from its annotations and
+// its position in the graph.
+func classify(g *taskgraph.Graph, t taskgraph.Task) (arch.ProblemClass, string) {
+	for _, n := range t.Nature {
+		switch n {
+		case "dataparallel", "simd", "regular":
+			return arch.Synchronous, "data-parallel nature tag"
+		case "iterative", "stencil", "spmd":
+			return arch.LooselySynchronous, "iterative compute/communicate nature tag"
+		case "montecarlo", "batch", "interactive", "graphic":
+			return arch.Asynchronous, "independent/irregular nature tag"
+		}
+	}
+	// Tasks in tight mutual communication iterate compute/communicate
+	// phases; isolated tasks have no global temporal structure.
+	peers := g.Peers(t.ID)
+	for _, p := range peers {
+		for _, q := range g.Peers(p) {
+			if q == t.ID {
+				return arch.LooselySynchronous, "bidirectional stream communication"
+			}
+		}
+	}
+	if t.MinInstances > 1 {
+		return arch.Asynchronous, "replicated instances without coupling"
+	}
+	return arch.Asynchronous, "no temporal structure detected"
+}
+
+// CodingDefaults selects implementation languages per problem class,
+// defaulting to the emerging standards the paper names (§3.1.1).
+type CodingDefaults struct {
+	// Synchronous tasks' language (default "HPF").
+	Synchronous string
+	// LooselySynchronous tasks' language (default "HPC++").
+	LooselySynchronous string
+	// Asynchronous tasks' language (default "C+MPI").
+	Asynchronous string
+}
+
+func (c CodingDefaults) withDefaults() CodingDefaults {
+	if c.Synchronous == "" {
+		c.Synchronous = "HPF"
+	}
+	if c.LooselySynchronous == "" {
+		c.LooselySynchronous = "HPC++"
+	}
+	if c.Asynchronous == "" {
+		c.Asynchronous = "C+MPI"
+	}
+	return c
+}
+
+// Code runs the coding level: every task gets an architecture-independent
+// implementation language, and every stream arc gets a concrete channel
+// name. It fails on tasks the design stage has not classified.
+func Code(g *taskgraph.Graph, defaults CodingDefaults) error {
+	defaults = defaults.withDefaults()
+	for _, t := range g.Tasks() {
+		if t.Language != "" {
+			continue
+		}
+		switch t.Problem {
+		case arch.Synchronous:
+			t.Language = defaults.Synchronous
+		case arch.LooselySynchronous:
+			t.Language = defaults.LooselySynchronous
+		case arch.Asynchronous:
+			t.Language = defaults.Asynchronous
+		default:
+			return fmt.Errorf("sdm: task %q reached coding level unclassified", t.ID)
+		}
+		if err := g.UpdateTask(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NamedChannels returns arc channel names, generating "chan-<from>-<to>" for
+// stream arcs left unnamed. (Arcs are immutable in the graph; the EXM calls
+// this when it creates runtime channels.)
+func NamedChannels(g *taskgraph.Graph) map[string]taskgraph.Arc {
+	out := make(map[string]taskgraph.Arc)
+	for _, a := range g.Arcs() {
+		if a.Kind != taskgraph.Stream {
+			continue
+		}
+		name := a.Channel
+		if name == "" {
+			name = fmt.Sprintf("chan-%s-%s", a.From, a.To)
+		}
+		out[name] = a
+	}
+	return out
+}
+
+// DispatchPriorities implements the §3.1.1 optimization example: "if a
+// particular application has three functionally parallel modules and the
+// user expects one to run much longer than the combined running times of the
+// other two ... dispatching of the longer job can be given higher priority
+// so opportunities for parallel execution will be maximized."
+//
+// Tasks are grouped by precedence depth (functionally parallel = same
+// depth); within a group, longer expected runtime ⇒ higher priority. The
+// explicit user priority (Hints.Priority) is added on top.
+func DispatchPriorities(g *taskgraph.Graph) (map[taskgraph.TaskID]int, error) {
+	topo, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	depth := make(map[taskgraph.TaskID]int)
+	for _, id := range topo {
+		d := 0
+		for _, p := range g.Predecessors(id) {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[id] = d
+	}
+	byDepth := make(map[int][]taskgraph.TaskID)
+	for id, d := range depth {
+		byDepth[d] = append(byDepth[d], id)
+	}
+	out := make(map[taskgraph.TaskID]int, len(topo))
+	for _, group := range byDepth {
+		sort.Slice(group, func(i, j int) bool {
+			ti, _ := g.Task(group[i])
+			tj, _ := g.Task(group[j])
+			ri, rj := expectedRuntime(ti), expectedRuntime(tj)
+			if ri != rj {
+				return ri < rj // ascending: longer tasks get higher rank
+			}
+			return group[i] < group[j]
+		})
+		for rank, id := range group {
+			t, _ := g.Task(id)
+			out[id] = rank + t.Hint.Priority
+		}
+	}
+	return out, nil
+}
+
+func expectedRuntime(t taskgraph.Task) time.Duration {
+	if t.Hint.ExpectedRuntime > 0 {
+		return t.Hint.ExpectedRuntime
+	}
+	return time.Duration(t.WorkUnits * float64(time.Second))
+}
+
+// Pipeline runs all three SDM layers over a specification and returns the
+// fully annotated graph ready for the execution module.
+func Pipeline(spec Spec) (*taskgraph.Graph, []Decision, error) {
+	g, err := spec.Graph()
+	if err != nil {
+		return nil, nil, err
+	}
+	decisions, err := Design(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := Code(g, CodingDefaults{}); err != nil {
+		return nil, nil, err
+	}
+	return g, decisions, nil
+}

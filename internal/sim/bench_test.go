@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vce/internal/arch"
+)
+
+// BenchmarkClusterHour measures simulating one virtual hour of a 32-machine
+// cluster with churning tasks — the kernel cost behind every experiment.
+func BenchmarkClusterHour(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := NewCluster()
+		machines := make([]*Machine, 32)
+		for j := range machines {
+			m, err := c.AddMachine(arch.Machine{
+				Name: fmt.Sprintf("m%02d", j), Class: arch.Workstation,
+				Speed: 1, OS: "unix",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			machines[j] = m
+		}
+		// Steady task churn: each completion spawns a successor until the
+		// horizon.
+		var spawn func(m *Machine, k int)
+		spawn = func(m *Machine, k int) {
+			_ = m.AddTask(&Task{
+				ID: fmt.Sprintf("%s-%d", m.Name(), k), Work: 60,
+				OnDone: func(_ *Task, at time.Duration) {
+					if at < time.Hour {
+						spawn(m, k+1)
+					}
+				},
+			})
+		}
+		for _, m := range machines {
+			spawn(m, 0)
+		}
+		c.Sim.RunUntil(time.Hour)
+	}
+}
+
+// BenchmarkLoadSteps measures the cost of load-change events (the advance +
+// reschedule path) with resident tasks.
+func BenchmarkLoadSteps(b *testing.B) {
+	c := NewCluster()
+	m, err := c.AddMachine(arch.Machine{Name: "m", Class: arch.Workstation, Speed: 1, OS: "unix"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		_ = m.AddTask(&Task{ID: fmt.Sprintf("t%d", i), Work: 1e12})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SetLocalLoad(float64(i%10) / 10)
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vce/internal/arch"
+	"vce/internal/netsim"
+	"vce/internal/vfs"
+	"vce/internal/vtime"
+)
+
+// ChangeListener observes machine state changes (task arrivals/departures,
+// load steps). Load-balancing policies hang off this hook.
+type ChangeListener func(m *Machine, now time.Duration)
+
+// Cluster is a simulated VCE network.
+type Cluster struct {
+	// Sim is the discrete-event kernel driving everything.
+	Sim *vtime.Sim
+	// Net models the interconnect (migration and staging costs).
+	Net *netsim.Model
+	// FS is the simulated distributed file system.
+	FS *vfs.FS
+
+	machines  map[string]*Machine
+	order     []string
+	listeners []ChangeListener
+	taskCount int
+	notifying bool
+	pending   []*Machine
+}
+
+// NewCluster returns an empty cluster over a fresh kernel and a 1994-LAN
+// network model.
+func NewCluster() *Cluster {
+	return &Cluster{
+		Sim:      vtime.NewSim(),
+		Net:      netsim.LAN1994(),
+		FS:       vfs.New(),
+		machines: make(map[string]*Machine),
+	}
+}
+
+// AddMachine registers a machine.
+func (c *Cluster) AddMachine(spec arch.Machine) (*Machine, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("sim: machine needs a name")
+	}
+	if spec.Speed <= 0 {
+		return nil, fmt.Errorf("sim: machine %q needs positive speed", spec.Name)
+	}
+	if _, dup := c.machines[spec.Name]; dup {
+		return nil, fmt.Errorf("sim: duplicate machine %q", spec.Name)
+	}
+	m := &Machine{cluster: c, Spec: spec, tasks: make(map[string]*Task)}
+	c.machines[spec.Name] = m
+	c.order = append(c.order, spec.Name)
+	return m, nil
+}
+
+// Machine returns a machine by name.
+func (c *Cluster) Machine(name string) (*Machine, bool) {
+	m, ok := c.machines[name]
+	return m, ok
+}
+
+// Machines returns all machines in registration order.
+func (c *Cluster) Machines() []*Machine {
+	out := make([]*Machine, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.machines[n])
+	}
+	return out
+}
+
+// RunningTasks returns the total resident task count.
+func (c *Cluster) RunningTasks() int { return c.taskCount }
+
+// OnChange registers a machine-state listener.
+func (c *Cluster) OnChange(l ChangeListener) {
+	c.listeners = append(c.listeners, l)
+}
+
+// notifyChange fans a machine change out to listeners. Re-entrant changes
+// (listeners migrating tasks, which themselves notify) are queued and
+// drained iteratively so callbacks observe a consistent world.
+func (c *Cluster) notifyChange(m *Machine) {
+	if len(c.listeners) == 0 {
+		return
+	}
+	c.pending = append(c.pending, m)
+	if c.notifying {
+		return
+	}
+	c.notifying = true
+	defer func() { c.notifying = false }()
+	for len(c.pending) > 0 {
+		next := c.pending[0]
+		c.pending = c.pending[1:]
+		now := c.Sim.Now()
+		for _, l := range c.listeners {
+			l(next, now)
+		}
+	}
+}
+
+// PlayLoadTrace schedules local-load steps on a machine.
+func (c *Cluster) PlayLoadTrace(machine string, steps []LoadStep) error {
+	m, ok := c.machines[machine]
+	if !ok {
+		return fmt.Errorf("sim: no machine %q", machine)
+	}
+	for _, s := range steps {
+		load := s.Load
+		c.Sim.At(s.At, func() { m.SetLocalLoad(load) })
+	}
+	return nil
+}
+
+// LoadStep is one step of a local-load trace.
+type LoadStep struct {
+	// At is the virtual time of the step.
+	At time.Duration
+	// Load is the local load fraction from At onward.
+	Load float64
+}
+
+// TransferTime exposes the network model for migration strategies.
+func (c *Cluster) TransferTime(src, dst string, bytes int64) (time.Duration, error) {
+	return c.Net.TransferTime(src, dst, bytes)
+}
+
+// IdleMachines returns machines with local load below threshold and no
+// resident remote tasks, sorted by descending speed — the free-parallelism
+// harvest set (§4.5).
+func (c *Cluster) IdleMachines(threshold float64) []*Machine {
+	var out []*Machine
+	for _, name := range c.order {
+		m := c.machines[name]
+		if m.localLoad < threshold && len(m.tasks) == 0 {
+			out = append(out, m)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Spec.Speed > out[j].Spec.Speed })
+	return out
+}
+
+// LeastLoaded returns the n least-loaded machines admitted by req (what a
+// bid round would select), by ascending Load then name.
+func (c *Cluster) LeastLoaded(req arch.Requirements, n int) []*Machine {
+	var cands []*Machine
+	for _, name := range c.order {
+		m := c.machines[name]
+		if req.Admits(m.Spec) {
+			cands = append(cands, m)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		li, lj := cands[i].Load(), cands[j].Load()
+		if li != lj {
+			return li < lj
+		}
+		return cands[i].Name() < cands[j].Name()
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	return cands
+}

@@ -1,0 +1,342 @@
+// Package sim is the discrete-event cluster simulator used by the VCE
+// experiments: processor-sharing machines with time-varying local load,
+// remote VCE tasks competing for leftover capacity, suspension (for
+// Stealth-style policies), and kill/restart hooks (for migration
+// strategies). Hours of virtual cluster time run in milliseconds, which is
+// what makes the §4 policy comparisons measurable.
+//
+// Execution model: a machine of speed S executes S work units per second.
+// Locally initiated processes have absolute priority (the premise shared by
+// Krueger, Clark and Ju in §4.3): a local load fraction l leaves max(0,
+// S·(1−l)) for remote VCE tasks, which share it equally (processor sharing).
+// Rates change only at events (task arrival/departure, load steps,
+// suspension), so progress is piecewise linear and completion times are
+// exact.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"vce/internal/arch"
+	"vce/internal/metrics"
+)
+
+// Task is one remote VCE task instance executing on the simulated cluster.
+type Task struct {
+	// ID uniquely names the task instance.
+	ID string
+	// App groups instances of an application.
+	App string
+	// Work is the total work units required.
+	Work float64
+	// ImageBytes sizes the binary/address-space image (migration cost).
+	ImageBytes int64
+	// Checkpointable marks cooperative tasks (checkpoint migration).
+	Checkpointable bool
+	// OnDone fires at completion with the completion time.
+	OnDone func(t *Task, at time.Duration)
+	// OnKilled fires when the task is killed (migration or termination).
+	OnKilled func(t *Task, at time.Duration)
+
+	// CheckpointedWork is the work captured by the latest checkpoint.
+	CheckpointedWork float64
+
+	machine    *Machine
+	doneWork   float64
+	lastUpdate time.Duration
+	startedAt  time.Duration
+	suspended  bool
+	finished   bool
+}
+
+// DoneWork returns the work completed so far (valid after the owning
+// machine's advance, i.e. inside event callbacks).
+func (t *Task) DoneWork() float64 { return t.doneWork }
+
+// Remaining returns work still to do.
+func (t *Task) Remaining() float64 { return t.Work - t.doneWork }
+
+// Machine returns the current host (nil when not placed).
+func (t *Task) Machine() *Machine { return t.machine }
+
+// Finished reports completion.
+func (t *Task) Finished() bool { return t.finished }
+
+// Machine is one simulated computer.
+type Machine struct {
+	cluster *Cluster
+	// Spec is the hardware description.
+	Spec arch.Machine
+
+	localLoad float64 // fraction of capacity consumed locally, >= 0
+	suspended bool    // remote tasks frozen (Stealth)
+	tasks     map[string]*Task
+	epoch     int64 // invalidates stale completion events
+
+	// Monitoring.
+	remoteBusy  metrics.TimeWeighted // fraction of capacity running VCE work
+	localBusy   metrics.TimeWeighted
+	completed   int64
+	killedCount int64
+}
+
+// LocalLoad returns the current local load fraction.
+func (m *Machine) LocalLoad() float64 { return m.localLoad }
+
+// Suspended reports whether remote tasks are frozen.
+func (m *Machine) Suspended() bool { return m.suspended }
+
+// RemoteTasks returns the number of resident VCE tasks.
+func (m *Machine) RemoteTasks() int { return len(m.tasks) }
+
+// Completed returns how many tasks finished here.
+func (m *Machine) Completed() int64 { return m.completed }
+
+// Name returns the machine name.
+func (m *Machine) Name() string { return m.Spec.Name }
+
+// Load returns the scheduler-visible load: local load plus remote demand
+// per unit capacity.
+func (m *Machine) Load() float64 {
+	return m.localLoad + float64(len(m.tasks))/maxf(m.Spec.Speed, 0.001)
+}
+
+// RemoteUtilization returns the time-weighted average fraction of capacity
+// spent on VCE work up to now.
+func (m *Machine) RemoteUtilization(now time.Duration) float64 {
+	return m.remoteBusy.Average(now)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// remoteRatePerTask returns each resident task's current execution rate.
+func (m *Machine) remoteRatePerTask() float64 {
+	if m.suspended || len(m.tasks) == 0 {
+		return 0
+	}
+	avail := m.Spec.Speed * maxf(0, 1-m.localLoad)
+	return avail / float64(len(m.tasks))
+}
+
+// advance accrues task progress from lastUpdate to now at the current rate.
+func (m *Machine) advance(now time.Duration) {
+	rate := m.remoteRatePerTask()
+	for _, t := range m.tasks {
+		if dt := now - t.lastUpdate; dt > 0 && rate > 0 {
+			t.doneWork += rate * dt.Seconds()
+			if t.doneWork > t.Work {
+				t.doneWork = t.Work
+			}
+		}
+		t.lastUpdate = now
+	}
+}
+
+// recordUtil snapshots the utilization gauges after a state mutation; the
+// recorded value holds until the next mutation (piecewise-constant).
+func (m *Machine) recordUtil(now time.Duration) {
+	frac := 0.0
+	if m.Spec.Speed > 0 {
+		frac = m.remoteRatePerTask() * float64(len(m.tasks)) / m.Spec.Speed
+	}
+	m.remoteBusy.Set(now, frac)
+	m.localBusy.Set(now, minf(m.localLoad, 1))
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// workEpsilon is the completion tolerance: absolute floor plus a relative
+// component so large work values with float residue still terminate.
+func workEpsilon(work float64) float64 {
+	return 1e-9 + 1e-12*work
+}
+
+// reschedule computes the earliest completion among resident tasks and
+// schedules its event. The epoch counter voids superseded events.
+func (m *Machine) reschedule(now time.Duration) {
+	m.epoch++
+	epoch := m.epoch
+	rate := m.remoteRatePerTask()
+	if rate <= 0 {
+		return // frozen or empty: nothing will complete
+	}
+	var next *Task
+	var nextRemaining float64
+	for _, t := range m.tasks {
+		rem := t.Work - t.doneWork
+		if next == nil || rem < nextRemaining || (rem == nextRemaining && t.ID < next.ID) {
+			next = t
+			nextRemaining = rem
+		}
+	}
+	if next == nil {
+		return
+	}
+	eta := time.Duration(nextRemaining / rate * float64(time.Second))
+	if eta < time.Nanosecond {
+		// Floor at the clock granularity: a zero-delay event would
+		// re-fire at the same timestamp without accruing progress,
+		// livelocking the simulation on float residue.
+		eta = time.Nanosecond
+	}
+	m.cluster.Sim.After(eta, func() {
+		if m.epoch != epoch {
+			return // rates changed since; a newer event is scheduled
+		}
+		m.onCompletion()
+	})
+}
+
+// onCompletion fires when the earliest task finishes.
+func (m *Machine) onCompletion() {
+	now := m.cluster.Sim.Now()
+	m.advance(now)
+	var finished []*Task
+	for id, t := range m.tasks {
+		if t.Work-t.doneWork <= workEpsilon(t.Work) {
+			t.finished = true
+			t.machine = nil
+			delete(m.tasks, id)
+			finished = append(finished, t)
+			m.completed++
+		}
+	}
+	m.reschedule(now)
+	m.recordUtil(now)
+	for _, t := range finished {
+		m.cluster.taskCount--
+		if t.OnDone != nil {
+			t.OnDone(t, now)
+		}
+	}
+	m.cluster.notifyChange(m)
+}
+
+// AddTask places a task on the machine at the current virtual time. A task
+// may only reside on one machine.
+func (m *Machine) AddTask(t *Task) error {
+	if t.machine != nil {
+		return fmt.Errorf("sim: task %q already placed on %s", t.ID, t.machine.Name())
+	}
+	if t.finished {
+		return fmt.Errorf("sim: task %q already finished", t.ID)
+	}
+	if _, dup := m.tasks[t.ID]; dup {
+		return fmt.Errorf("sim: duplicate task %q on %s", t.ID, m.Name())
+	}
+	now := m.cluster.Sim.Now()
+	m.advance(now)
+	t.machine = m
+	t.lastUpdate = now
+	if t.startedAt == 0 && t.doneWork == 0 {
+		t.startedAt = now
+	}
+	m.tasks[t.ID] = t
+	m.cluster.taskCount++
+	m.reschedule(now)
+	m.recordUtil(now)
+	m.cluster.notifyChange(m)
+	return nil
+}
+
+// Kill removes a task without completing it, firing OnKilled. The task's
+// accrued work survives in doneWork (checkpoint strategies read it).
+func (m *Machine) Kill(id string) (*Task, error) {
+	t, ok := m.tasks[id]
+	if !ok {
+		return nil, fmt.Errorf("sim: no task %q on %s", id, m.Name())
+	}
+	now := m.cluster.Sim.Now()
+	m.advance(now)
+	delete(m.tasks, id)
+	t.machine = nil
+	m.killedCount++
+	m.cluster.taskCount--
+	m.reschedule(now)
+	m.recordUtil(now)
+	if t.OnKilled != nil {
+		t.OnKilled(t, now)
+	}
+	m.cluster.notifyChange(m)
+	return t, nil
+}
+
+// SetLocalLoad steps the machine's local load (trace playback).
+func (m *Machine) SetLocalLoad(l float64) {
+	if l < 0 {
+		l = 0
+	}
+	now := m.cluster.Sim.Now()
+	m.advance(now)
+	m.localLoad = l
+	m.reschedule(now)
+	m.recordUtil(now)
+	m.cluster.notifyChange(m)
+}
+
+// SetSuspended freezes or thaws remote tasks (Stealth-style suspension).
+func (m *Machine) SetSuspended(s bool) {
+	if m.suspended == s {
+		return
+	}
+	now := m.cluster.Sim.Now()
+	m.advance(now)
+	m.suspended = s
+	m.reschedule(now)
+	m.recordUtil(now)
+	m.cluster.notifyChange(m)
+}
+
+// Tasks returns the resident task IDs (copy).
+func (m *Machine) Tasks() []*Task {
+	out := make([]*Task, 0, len(m.tasks))
+	for _, t := range m.tasks {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Sync accrues progress up to the current virtual instant so observers
+// outside machine events (checkpointers, migration policies) read fresh
+// DoneWork values.
+func (m *Machine) Sync() {
+	m.advance(m.cluster.Sim.Now())
+}
+
+// Rewind resets an unplaced task's progress to the given completed work —
+// how checkpoint restarts discard work done since the last checkpoint. It
+// fails on placed or finished tasks and on out-of-range values.
+func (t *Task) Rewind(work float64) error {
+	if t.machine != nil {
+		return fmt.Errorf("sim: cannot rewind placed task %q", t.ID)
+	}
+	if t.finished {
+		return fmt.Errorf("sim: cannot rewind finished task %q", t.ID)
+	}
+	if work < 0 || work > t.Work {
+		return fmt.Errorf("sim: rewind of %q to %v out of range [0,%v]", t.ID, work, t.Work)
+	}
+	t.doneWork = work
+	return nil
+}
+
+// Killed returns how many tasks were killed on this machine (migrations and
+// terminations).
+func (m *Machine) Killed() int64 { return m.killedCount }
+
+// LocalUtilization returns the time-weighted average local (owner) load up
+// to now, capped at 1 — how occupied the machine's owner kept it.
+func (m *Machine) LocalUtilization(now time.Duration) float64 {
+	return m.localBusy.Average(now)
+}

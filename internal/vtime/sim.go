@@ -1,0 +1,161 @@
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Sim is a single-threaded discrete-event simulation kernel. Events are
+// callbacks scheduled at virtual instants; Run drains the queue in
+// (time, sequence) order, so simulations are fully deterministic.
+//
+// Sim is not safe for concurrent use: all events must be scheduled either
+// before Run or from within event callbacks, which is the natural shape of a
+// discrete-event simulation. The cluster simulator (internal/sim) is built on
+// this kernel.
+type Sim struct {
+	now    time.Duration
+	seq    int64
+	queue  eventHeap
+	nfired int64
+	halted bool
+}
+
+// NewSim returns a simulation kernel positioned at virtual time zero.
+func NewSim() *Sim { return &Sim{} }
+
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() int64 { return s.nfired }
+
+// Pending returns the number of events still queued.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past panics:
+// that is always a simulation bug, not a recoverable condition.
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("vtime: event scheduled at %v before now %v", t, s.now))
+	}
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn d after the current virtual time.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Halt stops Run after the currently executing event returns.
+func (s *Sim) Halt() { s.halted = true }
+
+// Run executes events until the queue is empty or Halt is called. It returns
+// the virtual time at which the simulation quiesced.
+func (s *Sim) Run() time.Duration {
+	return s.RunUntil(1<<62 - 1)
+}
+
+// RunUntil executes events with timestamps <= limit. Events beyond limit stay
+// queued; the virtual clock is left at min(limit, last event time) if events
+// ran, or advanced to limit if the queue drained earlier.
+func (s *Sim) RunUntil(limit time.Duration) time.Duration {
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		next := s.queue[0]
+		if next.at > limit {
+			s.now = limit
+			return s.now
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		s.nfired++
+		next.fn()
+	}
+	if s.now < limit && len(s.queue) == 0 && !s.halted {
+		// Queue drained: the caller asked for time to pass regardless.
+		if limit < 1<<62-1 {
+			s.now = limit
+		}
+	}
+	return s.now
+}
+
+// Step executes exactly one event if any is queued and reports whether it did.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&s.queue).(*event)
+	s.now = next.at
+	s.nfired++
+	next.fn()
+	return true
+}
+
+// simTimer adapts a scheduled event to the Timer interface.
+type simTimer struct{ cancelled *bool }
+
+func (t simTimer) Stop() bool {
+	if *t.cancelled {
+		return false
+	}
+	*t.cancelled = true
+	return true
+}
+
+// simClock adapts Sim to the Clock interface so policy code written against
+// Clock runs unchanged inside the simulator. Virtual time zero maps to epoch.
+type simClock struct {
+	sim   *Sim
+	epoch time.Time
+}
+
+// Clock returns a Clock view of the simulation's virtual time.
+func (s *Sim) Clock() Clock {
+	return simClock{sim: s, epoch: time.Unix(0, 0).UTC()}
+}
+
+func (c simClock) Now() time.Time                  { return c.epoch.Add(c.sim.now) }
+func (c simClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+func (c simClock) AfterFunc(d time.Duration, f func()) Timer {
+	cancelled := new(bool)
+	c.sim.After(d, func() {
+		if !*cancelled {
+			*cancelled = true
+			f()
+		}
+	})
+	return simTimer{cancelled: cancelled}
+}

@@ -1,0 +1,235 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(30*time.Millisecond, func() { order = append(order, 3) })
+	s.At(10*time.Millisecond, func() { order = append(order, 1) })
+	s.At(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSimTieBreakBySequence(t *testing.T) {
+	s := NewSim()
+	var order []string
+	s.At(time.Second, func() { order = append(order, "a") })
+	s.At(time.Second, func() { order = append(order, "b") })
+	s.At(time.Second, func() { order = append(order, "c") })
+	s.Run()
+	if got := order[0] + order[1] + order[2]; got != "abc" {
+		t.Fatalf("tie-break order = %q, want abc", got)
+	}
+}
+
+func TestSimAfterNested(t *testing.T) {
+	s := NewSim()
+	var at []time.Duration
+	s.After(time.Second, func() {
+		at = append(at, s.Now())
+		s.After(2*time.Second, func() { at = append(at, s.Now()) })
+	})
+	s.Run()
+	if len(at) != 2 || at[0] != time.Second || at[1] != 3*time.Second {
+		t.Fatalf("nested scheduling times = %v", at)
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Second, func() { fired++ })
+	}
+	s.RunUntil(5 * time.Second)
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", s.Pending())
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("now = %v, want 5s", s.Now())
+	}
+	s.Run()
+	if fired != 10 {
+		t.Fatalf("fired after Run = %d, want 10", fired)
+	}
+}
+
+func TestSimHalt(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	s.At(time.Second, func() { fired++; s.Halt() })
+	s.At(2*time.Second, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 after Halt", fired)
+	}
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 after resume", fired)
+	}
+}
+
+func TestSimPastSchedulingPanics(t *testing.T) {
+	s := NewSim()
+	s.At(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(time.Millisecond, func() {})
+}
+
+func TestSimStep(t *testing.T) {
+	s := NewSim()
+	n := 0
+	s.At(time.Second, func() { n++ })
+	s.At(2*time.Second, func() { n++ })
+	if !s.Step() || n != 1 {
+		t.Fatalf("first step: n=%d", n)
+	}
+	if !s.Step() || n != 2 {
+		t.Fatalf("second step: n=%d", n)
+	}
+	if s.Step() {
+		t.Fatal("step on empty queue reported true")
+	}
+}
+
+func TestSimClockAfterFuncAndStop(t *testing.T) {
+	s := NewSim()
+	c := s.Clock()
+	fired := false
+	c.AfterFunc(time.Second, func() { fired = true })
+	tm := c.AfterFunc(2*time.Second, func() { t.Fatal("stopped timer fired") })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("live timer did not fire")
+	}
+	if got := c.Since(time.Unix(0, 0).UTC()); got != 2*time.Second {
+		t.Fatalf("Since epoch = %v, want 2s", got)
+	}
+}
+
+func TestManualAdvanceFiresInOrder(t *testing.T) {
+	m := NewManual(time.Unix(100, 0))
+	var order []int
+	m.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	m.AfterFunc(time.Second, func() { order = append(order, 1) })
+	m.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	m.Advance(10 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if got := m.Now(); !got.Equal(time.Unix(110, 0)) {
+		t.Fatalf("now = %v, want 110s", got)
+	}
+}
+
+func TestManualStop(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	tm := m.AfterFunc(time.Second, func() { t.Fatal("stopped timer fired") })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false")
+	}
+	m.Advance(5 * time.Second)
+	if m.PendingTimers() != 0 {
+		t.Fatalf("pending = %d, want 0", m.PendingTimers())
+	}
+}
+
+func TestManualNestedTimers(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	var times []time.Time
+	m.AfterFunc(time.Second, func() {
+		times = append(times, m.Now())
+		m.AfterFunc(time.Second, func() { times = append(times, m.Now()) })
+	})
+	m.Advance(5 * time.Second)
+	if len(times) != 2 {
+		t.Fatalf("fired %d timers, want 2", len(times))
+	}
+	if !times[0].Equal(time.Unix(1, 0)) || !times[1].Equal(time.Unix(2, 0)) {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestManualPartialAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	fired := false
+	m.AfterFunc(10*time.Second, func() { fired = true })
+	m.Advance(5 * time.Second)
+	if fired {
+		t.Fatal("timer fired early")
+	}
+	m.Advance(5 * time.Second)
+	if !fired {
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := NewReal()
+	t0 := c.Now()
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+	if c.Since(t0) <= 0 {
+		t.Fatal("Since returned non-positive duration")
+	}
+}
+
+func TestSimRunUntilDrainedAdvancesClock(t *testing.T) {
+	s := NewSim()
+	s.At(time.Second, func() {})
+	s.RunUntil(10 * time.Second)
+	if s.Now() != 10*time.Second {
+		t.Fatalf("now = %v, want 10s after drain", s.Now())
+	}
+}
+
+func TestSimPropertyEventsFireInTimestampOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewSim()
+		var fired []time.Duration
+		for _, d := range delays {
+			at := time.Duration(d) * time.Millisecond
+			s.At(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package workload generates the synthetic inputs the VCE experiments run
+// on: heavy-tailed task bags (the batch jobs of the load-balancing
+// literature §4.4 cites), Poisson submission streams, bursty owner-activity
+// traces for workstations, and heterogeneous testbed machine sets shaped
+// like the paper's "typical heterogeneous environment" (a MIMD group, a SIMD
+// group and a workstation group, §5).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"vce/internal/arch"
+	"vce/internal/rng"
+	"vce/internal/sim"
+)
+
+// TaskSpec describes one generated task.
+type TaskSpec struct {
+	// ID names the task.
+	ID string
+	// Work is the task's work units.
+	Work float64
+	// ImageBytes sizes the task image.
+	ImageBytes int64
+	// Checkpointable marks checkpoint-cooperative tasks.
+	Checkpointable bool
+}
+
+// UniformBag returns n tasks with work uniform in [lo, hi).
+func UniformBag(r *rng.Source, n int, lo, hi float64) []TaskSpec {
+	out := make([]TaskSpec, n)
+	for i := range out {
+		out[i] = TaskSpec{
+			ID:         fmt.Sprintf("task-%03d", i),
+			Work:       r.Range(lo, hi),
+			ImageBytes: 1 << 20,
+		}
+	}
+	return out
+}
+
+// ParetoBag returns n tasks with heavy-tailed work (bounded Pareto, shape
+// alpha, minimum xmin) — the long-running batch jobs Litzkow's systems
+// migrate.
+func ParetoBag(r *rng.Source, n int, alpha, xmin float64) []TaskSpec {
+	out := make([]TaskSpec, n)
+	for i := range out {
+		out[i] = TaskSpec{
+			ID:         fmt.Sprintf("task-%03d", i),
+			Work:       r.Pareto(alpha, xmin),
+			ImageBytes: 1 << 20,
+		}
+	}
+	return out
+}
+
+// PoissonArrivals returns arrival instants of a Poisson process with the
+// given rate (events/second) over the horizon.
+func PoissonArrivals(r *rng.Source, rate float64, horizon time.Duration) []time.Duration {
+	if rate <= 0 {
+		return nil
+	}
+	var out []time.Duration
+	t := 0.0
+	limit := horizon.Seconds()
+	for {
+		t += r.ExpFloat64() / rate
+		if t >= limit {
+			return out
+		}
+		out = append(out, time.Duration(t*float64(time.Second)))
+	}
+}
+
+// BurstyTrace generates an owner-activity trace: alternating idle and busy
+// periods with exponential lengths (meanIdle, meanBusy), busy load level
+// busyLoad. This is the §4.3 workstation-owner model: "execution of remote
+// tasks is resumed when activity of locally initiated tasks diminishes."
+func BurstyTrace(r *rng.Source, horizon time.Duration, meanIdle, meanBusy time.Duration, busyLoad float64) []sim.LoadStep {
+	var steps []sim.LoadStep
+	t := time.Duration(0)
+	busy := false
+	for t < horizon {
+		var period time.Duration
+		if busy {
+			period = time.Duration(r.ExpFloat64() * float64(meanBusy))
+			steps = append(steps, sim.LoadStep{At: t, Load: busyLoad})
+		} else {
+			period = time.Duration(r.ExpFloat64() * float64(meanIdle))
+			steps = append(steps, sim.LoadStep{At: t, Load: 0})
+		}
+		if period <= 0 {
+			period = time.Millisecond
+		}
+		t += period
+		busy = !busy
+	}
+	return steps
+}
+
+// Testbed describes a heterogeneous machine population.
+type Testbed struct {
+	// Workstations, MIMD, SIMD, Vector count each group's machines.
+	Workstations, MIMD, SIMD, Vector int
+	// WSSpeed etc. set relative speeds (defaults 1, 10, 40, 25).
+	WSSpeed, MIMDSpeed, SIMDSpeed, VectorSpeed float64
+}
+
+func (tb Testbed) withDefaults() Testbed {
+	if tb.WSSpeed <= 0 {
+		tb.WSSpeed = 1
+	}
+	if tb.MIMDSpeed <= 0 {
+		tb.MIMDSpeed = 10
+	}
+	if tb.SIMDSpeed <= 0 {
+		tb.SIMDSpeed = 40
+	}
+	if tb.VectorSpeed <= 0 {
+		tb.VectorSpeed = 25
+	}
+	return tb
+}
+
+// Machines materializes the testbed's machine descriptors. Workstations are
+// split across two object-code signatures (big and little endian), because
+// heterogeneity within a class is what makes the §4.4 migration comparison
+// interesting.
+func (tb Testbed) Machines() []arch.Machine {
+	tb = tb.withDefaults()
+	var out []arch.Machine
+	for i := 0; i < tb.Workstations; i++ {
+		order := arch.BigEndian
+		if i%2 == 1 {
+			order = arch.LittleEndian
+		}
+		out = append(out, arch.Machine{
+			Name: fmt.Sprintf("ws%02d", i), Class: arch.Workstation,
+			Speed: tb.WSSpeed, OS: "unix", Order: order, MemoryMB: 64,
+		})
+	}
+	for i := 0; i < tb.MIMD; i++ {
+		out = append(out, arch.Machine{
+			Name: fmt.Sprintf("mimd%02d", i), Class: arch.MIMD,
+			Speed: tb.MIMDSpeed, OS: "unix", Order: arch.BigEndian, MemoryMB: 512,
+		})
+	}
+	for i := 0; i < tb.SIMD; i++ {
+		out = append(out, arch.Machine{
+			Name: fmt.Sprintf("simd%02d", i), Class: arch.SIMD,
+			Speed: tb.SIMDSpeed, OS: "cmost", Order: arch.BigEndian, MemoryMB: 1024,
+		})
+	}
+	for i := 0; i < tb.Vector; i++ {
+		out = append(out, arch.Machine{
+			Name: fmt.Sprintf("vec%02d", i), Class: arch.Vector,
+			Speed: tb.VectorSpeed, OS: "unicos", Order: arch.BigEndian, MemoryMB: 2048,
+		})
+	}
+	return out
+}
+
+// Populate adds the testbed's machines to a simulated cluster and returns
+// them.
+func (tb Testbed) Populate(c *sim.Cluster) ([]*sim.Machine, error) {
+	var out []*sim.Machine
+	for _, spec := range tb.Machines() {
+		m, err := c.AddMachine(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ChainSpec returns a linear pipeline of n task specs (stage i feeds
+// stage i+1) for ripple-effect experiments.
+func ChainSpec(n int, workPerStage float64) []TaskSpec {
+	out := make([]TaskSpec, n)
+	for i := range out {
+		out[i] = TaskSpec{
+			ID:         fmt.Sprintf("stage-%d", i),
+			Work:       workPerStage,
+			ImageBytes: 1 << 20,
+		}
+	}
+	return out
+}

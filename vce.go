@@ -1,0 +1,103 @@
+// Package vce is the public face of this reproduction of "The Virtual
+// Computing Environment" (Rousselle, Tymann, Hariri, Fox — NPAC, Syracuse
+// University, 1994): a metacomputing system that aggregates a heterogeneous
+// network of machines into one virtual computer.
+//
+// A VCE application is a task graph (see the §5 script language or the SDM
+// specification API), annotated by the Software Development Module and run
+// by the Execution Module: per-machine daemons organized into
+// architecture-class groups, a bidding protocol for placement, channels and
+// proxies for communication, and migration/anticipatory-processing machinery
+// for load balancing.
+//
+// Quick start:
+//
+//	env := vce.New(vce.Options{})
+//	defer env.Shutdown()
+//	env.AddMachine(vce.Machine{Name: "ws0", Class: vce.Workstation, Speed: 1, OS: "unix"}, vce.MachineConfig{})
+//	env.Registry().Register("/apps/hello.vce", func(ctx vce.ProgContext) error {
+//		fmt.Println("hello from", ctx.Machine)
+//		return nil
+//	})
+//	report, err := env.RunScript("hello", `WORKSTATION 1 "/apps/hello.vce"`)
+//
+// The internal packages carry the substrates: internal/isis (the group
+// toolkit the prototype was built on), internal/sim (the discrete-event
+// cluster used by the experiments), internal/migrate (the four §4.4
+// migration strategies), and the rest of the inventory in DESIGN.md.
+package vce
+
+import (
+	"vce/internal/arch"
+	"vce/internal/core"
+	"vce/internal/exm"
+	"vce/internal/isis"
+	"vce/internal/sdm"
+	"vce/internal/taskgraph"
+)
+
+// Environment is a live virtual computing environment.
+type Environment = core.VCE
+
+// Options configures an Environment.
+type Options = core.Options
+
+// MachineConfig tunes one machine's daemon.
+type MachineConfig = core.MachineConfig
+
+// Machine describes one computer in the VCE network.
+type Machine = arch.Machine
+
+// Class is a machine architecture class.
+type Class = arch.Class
+
+// Machine architecture classes (§5's groups).
+const (
+	// SIMD machines (CM-5, MasPar MP-1 in the paper's examples).
+	SIMD = arch.SIMD
+	// MIMD machines with asynchronous architectures.
+	MIMD = arch.MIMD
+	// Vector supercomputers.
+	Vector = arch.Vector
+	// Workstation is a general-purpose Unix workstation.
+	Workstation = arch.Workstation
+)
+
+// ProgContext is the environment a VCE program instance runs in.
+type ProgContext = exm.ProgContext
+
+// Program is an executable VCE module.
+type Program = exm.Program
+
+// RunReport summarizes one application execution.
+type RunReport = exm.RunReport
+
+// Placement records where one task instance ran.
+type Placement = exm.Placement
+
+// Spec is an SDM problem specification (the §3.1.1 problem-specification
+// layer's input).
+type Spec = sdm.Spec
+
+// TaskSpec describes one functional component in a Spec.
+type TaskSpec = sdm.TaskSpec
+
+// Flow is a communication relationship between two tasks.
+type Flow = sdm.Flow
+
+// Dep is a synchronization relationship between two tasks.
+type Dep = sdm.Dep
+
+// Graph is an annotated task graph (§3.1).
+type Graph = taskgraph.Graph
+
+// Task is one node of a task graph.
+type Task = taskgraph.Task
+
+// IsisConfig tunes group membership (heartbeats, failure detection).
+type IsisConfig = isis.Config
+
+// New constructs an empty environment. The zero Options give an in-memory
+// single-process deployment suitable for examples and tests; see cmd/vced
+// for the TCP deployment.
+func New(opts Options) *Environment { return core.New(opts) }
