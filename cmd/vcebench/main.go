@@ -1,0 +1,106 @@
+// Command vcebench runs declarative VCE scenarios: it loads a JSON spec (or
+// a named built-in scenario), expands the scheduling × migration policy
+// matrix into instances, runs each instance for N independent seeds on the
+// discrete-event cluster, and writes an output directory of comparison
+// artifacts (plain text, Markdown, CSV, JSON).
+//
+// Usage:
+//
+//	vcebench -spec examples/scenarios/hetero-baseline.json -runs 5 -out /tmp/vcebench
+//	vcebench -name owner-churn -out /tmp/churn
+//	vcebench -list                      # show built-in scenarios
+//	vcebench -name faulty-fleet -dump   # print the spec JSON and exit
+//
+// Runs are deterministic: the same spec and -seed reproduce identical
+// indexes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"vce/internal/scenario"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "path to a scenario spec JSON file")
+		name     = flag.String("name", "", "built-in scenario name (see -list)")
+		list     = flag.Bool("list", false, "list built-in scenarios and exit")
+		dump     = flag.Bool("dump", false, "print the resolved spec JSON and exit (template for -spec)")
+		runs     = flag.Int("runs", 0, "override the spec's runs-per-cell count")
+		seed     = flag.Uint64("seed", 0, "override the spec's root seed")
+		out      = flag.String("out", "", "output directory for artifacts (omit to print the table only)")
+		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range scenario.BuiltinNames() {
+			sp, _ := scenario.Builtin(n)
+			fmt.Printf("%-16s %s\n", n, sp.Description)
+		}
+		return
+	}
+
+	sp, err := loadSpec(*specPath, *name)
+	if err != nil {
+		fatal(err)
+	}
+	if *runs > 0 {
+		sp.Runs = *runs
+	}
+	if *seed != 0 {
+		sp.Seed = *seed
+	}
+	if *dump {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sp); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var progress scenario.Progress
+	if !*quiet {
+		progress = func(inst scenario.Instance, run int, idx scenario.Indexes) {
+			fmt.Fprintf(os.Stderr, "%-40s run %d: completed=%d makespan=%.0fs migrations=%d failed=%d\n",
+				inst.Key(), run, idx.Completed, idx.MakespanS, idx.Migrations, idx.Failed)
+		}
+	}
+	rep, err := scenario.Run(sp, progress)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep.ComparisonTable().String())
+	if *out != "" {
+		written, err := rep.WriteArtifacts(*out)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range written {
+			fmt.Printf("wrote %s\n", p)
+		}
+	}
+}
+
+func loadSpec(specPath, name string) (*scenario.Spec, error) {
+	switch {
+	case specPath != "" && name != "":
+		return nil, fmt.Errorf("vcebench: -spec and -name are mutually exclusive")
+	case specPath != "":
+		return scenario.Load(specPath)
+	case name != "":
+		return scenario.Builtin(name)
+	default:
+		return nil, fmt.Errorf("vcebench: need -spec <file> or -name <builtin> (try -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

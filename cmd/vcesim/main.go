@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"vce/internal/experiments"
@@ -57,16 +56,7 @@ func main() {
 
 func printMarkdown(res *experiments.Result, elapsed time.Duration) {
 	fmt.Printf("### %s — %s\n\n", res.ID, res.Title)
-	cols := res.Table.Columns
-	fmt.Printf("| %s |\n", strings.Join(cols, " | "))
-	seps := make([]string, len(cols))
-	for i := range seps {
-		seps[i] = "---"
-	}
-	fmt.Printf("| %s |\n", strings.Join(seps, " | "))
-	for _, row := range res.Table.Rows() {
-		fmt.Printf("| %s |\n", strings.Join(row, " | "))
-	}
+	fmt.Print(res.Table.Markdown())
 	fmt.Println()
 	for _, n := range res.Notes {
 		fmt.Printf("**Measured:** %s\n\n", n)

@@ -1,0 +1,3 @@
+module vce
+
+go 1.22

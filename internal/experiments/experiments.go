@@ -58,6 +58,7 @@ func All() []Runner {
 		{"E11", "§4.4: redundant execution vs suspension", E11Redundant},
 		{"E12", "§5: concurrent execution programs", E12Concurrency},
 		{"E13", "§4.3: remote execution and migration vs owner activity", E13Utilization},
+		{"E14", "Scenario engine: declarative owner-churn policy matrix", E14ScenarioMatrix},
 	}
 }
 

@@ -49,11 +49,12 @@ func TestE7aCheckpointInterval(t *testing.T) { runAndCheck(t, "E7a", E7aCheckpoi
 func TestE7bAdaptivePicker(t *testing.T)     { runAndCheck(t, "E7b", E7bAdaptivePicker) }
 func TestE10aReplicationFanout(t *testing.T) { runAndCheck(t, "E10a", E10aReplicationFanout) }
 func TestE13Utilization(t *testing.T)        { runAndCheck(t, "E13", E13Utilization) }
+func TestE14ScenarioMatrix(t *testing.T)     { runAndCheck(t, "E14", E14ScenarioMatrix) }
 
 func TestAllRegistryComplete(t *testing.T) {
 	runners := All()
-	if len(runners) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(runners))
+	if len(runners) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {

@@ -1,7 +1,10 @@
 package metrics
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -55,6 +58,75 @@ func trimFloat(v float64) string {
 		return "0"
 	}
 	return s
+}
+
+// WriteCSV writes the table as RFC 4180 CSV: a header row of column names
+// followed by the data rows. Cells containing commas, quotes or newlines are
+// quoted by the encoder. The title is not part of the CSV (it belongs to the
+// artifact's file name), and an empty table still yields a header row so
+// downstream loaders see the schema.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the stable on-disk JSON shape of a table.
+type tableJSON struct {
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// WriteJSON writes the table as a JSON object {title, columns, rows}. Rows is
+// always present (an empty table marshals as an empty array, not null).
+func (t *Table) WriteJSON(w io.Writer) error {
+	doc := tableJSON{Title: t.Title, Columns: t.Columns, Rows: t.Rows()}
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Markdown renders the table as a GitHub-flavoured Markdown table (without
+// the title). Pipes inside cells are escaped so they cannot break the row
+// structure.
+func (t *Table) Markdown() string {
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	var b strings.Builder
+	b.WriteString("| ")
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(esc(c))
+	}
+	b.WriteString(" |\n|")
+	for range t.Columns {
+		b.WriteString(" --- |")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString("| ")
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(esc(cell))
+		}
+		b.WriteString(" |\n")
+	}
+	return b.String()
 }
 
 // String renders the table with aligned columns.

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVQuoting(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.AddRow(`has "quotes"`, 1.5)
+	tb.AddRow("has,comma", "line\nbreak")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	// Round-trip through the CSV reader: quoting must be reversible.
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3 (header + 2 rows)", len(recs))
+	}
+	if recs[0][0] != "name" || recs[0][1] != "value" {
+		t.Errorf("header = %v", recs[0])
+	}
+	if recs[1][0] != `has "quotes"` || recs[1][1] != "1.5" {
+		t.Errorf("row 1 = %v", recs[1])
+	}
+	if recs[2][0] != "has,comma" || recs[2][1] != "line\nbreak" {
+		t.Errorf("row 2 = %v", recs[2])
+	}
+}
+
+func TestWriteCSVEmptyTable(t *testing.T) {
+	tb := NewTable("empty", "a", "b", "c")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if got, want := strings.TrimSpace(b.String()), "a,b,c"; got != want {
+		t.Errorf("empty table CSV = %q, want header-only %q", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tb := NewTable("results", "policy", "makespan")
+	tb.AddRow("greedy", 12.25)
+	var b strings.Builder
+	if err := tb.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if doc.Title != "results" || len(doc.Columns) != 2 || len(doc.Rows) != 1 {
+		t.Errorf("doc = %+v", doc)
+	}
+	if doc.Rows[0][1] != "12.25" {
+		t.Errorf("cell = %q", doc.Rows[0][1])
+	}
+}
+
+func TestWriteJSONEmptyTable(t *testing.T) {
+	tb := NewTable("", "x")
+	var b strings.Builder
+	if err := tb.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	s := b.String()
+	if strings.Contains(s, "null") {
+		t.Errorf("empty table JSON contains null: %s", s)
+	}
+	var doc struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(s), &doc); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if doc.Rows == nil || len(doc.Rows) != 0 {
+		t.Errorf("rows = %v, want empty non-nil array", doc.Rows)
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tb := NewTable("t", "a|b", "c")
+	tb.AddRow("x|y", "z")
+	md := tb.Markdown()
+	for _, want := range []string{"a\\|b", "x\\|y", "| --- | --- |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"vce/internal/metrics"
+)
+
+// Cell aggregates one policy-matrix cell's runs.
+type Cell struct {
+	// Sched and Migration name the cell.
+	Sched     string `json:"sched"`
+	Migration string `json:"migration"`
+	// Runs holds the per-seed indexes in run order.
+	Runs []Indexes `json:"runs"`
+}
+
+// Report is the analyzed outcome of a scenario: every cell with its per-run
+// indexes, ready to render as comparison tables and artifacts.
+type Report struct {
+	// Spec is the executed scenario (defaults applied).
+	Spec *Spec `json:"spec"`
+	// Cells lists the matrix cells in expansion order.
+	Cells []Cell `json:"cells"`
+}
+
+// indexColumn describes one aggregated index column.
+type indexColumn struct {
+	name string
+	get  func(Indexes) float64
+}
+
+func indexColumns() []indexColumn {
+	return []indexColumn{
+		{"makespan_s", func(i Indexes) float64 { return i.MakespanS }},
+		{"throughput_per_h", func(i Indexes) float64 { return i.ThroughputPerH }},
+		{"mean_completion_s", func(i Indexes) float64 { return i.MeanCompletionS }},
+		{"utilization_pct", func(i Indexes) float64 { return i.UtilizationPct }},
+		{"completed", func(i Indexes) float64 { return float64(i.Completed) }},
+		{"migrations", func(i Indexes) float64 { return float64(i.Migrations) }},
+		{"suspensions", func(i Indexes) float64 { return float64(i.Suspensions) }},
+		{"failed", func(i Indexes) float64 { return float64(i.Failed) }},
+		{"rejected", func(i Indexes) float64 { return float64(i.Rejected) }},
+	}
+}
+
+// fmtMS renders a mean ± stddev cell.
+func fmtMS(d *metrics.Dist) string {
+	return fmt.Sprintf("%.4g ± %.3g", d.Mean(), d.Stddev())
+}
+
+// num renders a float at full precision for the machine-facing tables —
+// Table.AddRow's display rounding (%.4f) would collapse small stddevs to 0.
+func num(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ComparisonTable renders the human-facing mean±stddev matrix: one row per
+// cell, one column per index.
+func (r *Report) ComparisonTable() *metrics.Table {
+	cols := []string{"sched", "migration"}
+	for _, c := range indexColumns() {
+		cols = append(cols, c.name)
+	}
+	t := metrics.NewTable(fmt.Sprintf("%s: policy matrix, mean ± stddev over %d runs", r.Spec.Name, r.Spec.Runs), cols...)
+	for _, cell := range r.Cells {
+		row := []interface{}{cell.Sched, cell.Migration}
+		for _, c := range indexColumns() {
+			row = append(row, fmtMS(dist(cell.Runs, c.get)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// IndexTable renders the machine-facing aggregate: separate full-precision
+// mean and stddev columns per index, for CSV/JSON consumers.
+func (r *Report) IndexTable() *metrics.Table {
+	cols := []string{"sched", "migration", "runs"}
+	for _, c := range indexColumns() {
+		cols = append(cols, c.name+"_mean", c.name+"_std")
+	}
+	t := metrics.NewTable(r.Spec.Name, cols...)
+	for _, cell := range r.Cells {
+		row := []interface{}{cell.Sched, cell.Migration, len(cell.Runs)}
+		for _, c := range indexColumns() {
+			d := dist(cell.Runs, c.get)
+			row = append(row, num(d.Mean()), num(d.Stddev()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RunsTable renders the raw per-run indexes, one row per (cell, run).
+func (r *Report) RunsTable() *metrics.Table {
+	cols := []string{"sched", "migration", "run"}
+	for _, c := range indexColumns() {
+		cols = append(cols, c.name)
+	}
+	t := metrics.NewTable(r.Spec.Name+": per-run indexes", cols...)
+	for _, cell := range r.Cells {
+		for run, idx := range cell.Runs {
+			row := []interface{}{cell.Sched, cell.Migration, run}
+			for _, c := range indexColumns() {
+				row = append(row, num(c.get(idx)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// Markdown renders the full report as a Markdown document.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Scenario %s\n\n", r.Spec.Name)
+	if r.Spec.Description != "" {
+		fmt.Fprintf(&b, "%s\n\n", r.Spec.Description)
+	}
+	fmt.Fprintf(&b, "%d scheduling policies × %d migration strategies, %d runs per cell, seed %d, horizon %.0fs.\n\n",
+		len(r.Spec.Policies.Scheduling), len(r.Spec.Policies.Migration), r.Spec.Runs, r.Spec.Seed, r.Spec.HorizonS)
+	b.WriteString("## Index comparison (mean ± stddev)\n\n")
+	b.WriteString(r.ComparisonTable().Markdown())
+	b.WriteString("\n## Per-run indexes\n\n")
+	b.WriteString(r.RunsTable().Markdown())
+	return b.String()
+}
+
+// WriteArtifacts writes the report's artifact set into dir (created if
+// needed) and returns the written paths:
+//
+//	report.txt   — aligned plain-text comparison table
+//	report.md    — Markdown document (comparison + per-run tables)
+//	indexes.csv  — aggregated indexes, numeric mean/std columns
+//	indexes.json — same aggregate as JSON
+//	runs.csv     — raw per-run indexes
+//	spec.json    — the executed spec (defaults applied), for reproduction
+func (r *Report) WriteArtifacts(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	var written []string
+	write := func(name string, gen func(*os.File) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := gen(f); err != nil {
+			f.Close()
+			return fmt.Errorf("scenario: writing %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	steps := []struct {
+		name string
+		gen  func(*os.File) error
+	}{
+		{"report.txt", func(f *os.File) error {
+			_, err := f.WriteString(r.ComparisonTable().String())
+			return err
+		}},
+		{"report.md", func(f *os.File) error {
+			_, err := f.WriteString(r.Markdown())
+			return err
+		}},
+		{"indexes.csv", func(f *os.File) error { return r.IndexTable().WriteCSV(f) }},
+		{"indexes.json", func(f *os.File) error { return r.IndexTable().WriteJSON(f) }},
+		{"runs.csv", func(f *os.File) error { return r.RunsTable().WriteCSV(f) }},
+		{"spec.json", func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(r.Spec)
+		}},
+	}
+	for _, s := range steps {
+		if err := write(s.name, s.gen); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

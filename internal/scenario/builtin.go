@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builtins holds the shipped named scenarios. Each is a complete Spec a user
+// can run with `vcebench -name <name>` or dump as a starting point for their
+// own JSON.
+func builtins() map[string]*Spec {
+	return map[string]*Spec{
+		// hetero-baseline: the bread-and-butter comparison — heterogeneous
+		// machine mix, heavy-tailed batch bag, bursty owners, the full
+		// 2×3 policy matrix. Mirrors examples/scenarios/hetero-baseline.json.
+		"hetero-baseline": {
+			Name:        "hetero-baseline",
+			Description: "Heterogeneous cluster with one uniquely-capable MIMD host (§4.3's machine A), heavy-tailed batch bag, bursty owners: scheduling × migration matrix.",
+			HorizonS:    3600,
+			Machines: MachineSetSpec{
+				BandwidthMiBps: 1,
+				Classes: []MachineClassSpec{
+					{Class: "workstation", Count: 8, Speed: Dist{Kind: "uniform", Min: 1, Max: 2}},
+					{Class: "mimd", Count: 1, Speed: Dist{Kind: "fixed", Value: 6}, Slots: 2},
+				},
+			},
+			Workload: WorkloadSpec{
+				Tasks:          60,
+				Work:           Dist{Kind: "pareto", Alpha: 1.6, Xmin: 40},
+				Arrivals:       ArrivalSpec{Kind: "batch"},
+				ImageMiB:       2,
+				Checkpointable: true,
+				Constrained:    &ConstrainedSpec{Fraction: 0.25, Class: "mimd"},
+			},
+			Owner: &OwnerSpec{MeanIdleS: 300, MeanBusyS: 120, BusyLoad: 1},
+			Policies: PolicyMatrix{
+				Scheduling: []string{"greedy-best-fit", "utilization-first"},
+				Migration:  []string{"suspend", "address-space", "checkpoint"},
+			},
+			Runs: 5,
+			Seed: 0x5ce1994,
+		},
+		// owner-churn: aggressive owner reclaim; isolates the suspension vs
+		// migration argument of §4.3–§4.4 on a homogeneous workstation pool.
+		"owner-churn": {
+			Name:        "owner-churn",
+			Description: "Homogeneous workstation pool under aggressive owner reclaim: suspension stalls, migration escapes.",
+			HorizonS:    3600,
+			Machines: MachineSetSpec{
+				BandwidthMiBps: 4,
+				Classes: []MachineClassSpec{
+					{Class: "workstation", Count: 12, Speed: Dist{Kind: "fixed", Value: 1}},
+				},
+			},
+			Workload: WorkloadSpec{
+				Tasks:          36,
+				Work:           Dist{Kind: "uniform", Min: 90, Max: 180},
+				Arrivals:       ArrivalSpec{Kind: "batch"},
+				ImageMiB:       4,
+				Checkpointable: true,
+			},
+			Owner: &OwnerSpec{MeanIdleS: 180, MeanBusyS: 240, BusyLoad: 1},
+			Policies: PolicyMatrix{
+				Scheduling: []string{"greedy-best-fit", "utilization-first"},
+				Migration:  []string{"none", "suspend", "address-space", "adaptive"},
+			},
+			Runs: 5,
+			Seed: 0xc0ffee,
+		},
+		// faulty-fleet: machine failures with and without checkpointing —
+		// the fault/churn axis of the generated-cluster survey.
+		"faulty-fleet": {
+			Name:        "faulty-fleet",
+			Description: "Failure-prone cluster: checkpoint-based recovery against restart-from-scratch.",
+			HorizonS:    7200,
+			Machines: MachineSetSpec{
+				BandwidthMiBps: 2,
+				Classes: []MachineClassSpec{
+					{Class: "workstation", Count: 10, Speed: Dist{Kind: "normal", Mean: 1.5, Stddev: 0.3}},
+				},
+			},
+			Workload: WorkloadSpec{
+				Tasks:          30,
+				Work:           Dist{Kind: "uniform", Min: 300, Max: 600},
+				Arrivals:       ArrivalSpec{Kind: "poisson", RatePerS: 0.02},
+				ImageMiB:       8,
+				Checkpointable: true,
+			},
+			Faults:              &FaultSpec{MTBFHours: 0.5, DownS: 300},
+			CheckpointIntervalS: 60,
+			Policies: PolicyMatrix{
+				Scheduling: []string{"utilization-first", "greedy-best-fit"},
+				Migration:  []string{"none", "checkpoint"},
+			},
+			Runs: 5,
+			Seed: 0xfa17,
+		},
+	}
+}
+
+// Builtin returns the named built-in scenario.
+func Builtin(name string) (*Spec, error) {
+	sp, ok := builtins()[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: no built-in scenario %q (have %v)", name, BuiltinNames())
+	}
+	return sp, nil
+}
+
+// BuiltinNames lists the built-in scenario names, sorted.
+func BuiltinNames() []string {
+	m := builtins()
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,443 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"vce/internal/arch"
+	"vce/internal/compilemgr"
+	"vce/internal/loadbalance"
+	"vce/internal/metrics"
+	"vce/internal/migrate"
+	"vce/internal/netsim"
+	"vce/internal/rng"
+	"vce/internal/sched"
+	"vce/internal/sim"
+	"vce/internal/taskgraph"
+	"vce/internal/workload"
+)
+
+// Indexes are the comparison indexes of one run: what the analyzer
+// aggregates across seeds.
+type Indexes struct {
+	// MakespanS is the completion time of the last finished task (seconds);
+	// the horizon if nothing finished.
+	MakespanS float64 `json:"makespan_s"`
+	// ThroughputPerH is completed tasks per simulated hour.
+	ThroughputPerH float64 `json:"throughput_per_h"`
+	// MeanCompletionS averages completion instants of finished tasks.
+	MeanCompletionS float64 `json:"mean_completion_s"`
+	// UtilizationPct is the machine-mean time-weighted fraction of
+	// capacity spent on VCE work, in percent.
+	UtilizationPct float64 `json:"utilization_pct"`
+	// Migrations counts successful task migrations.
+	Migrations int64 `json:"migrations"`
+	// Suspensions counts suspension events (Stealth transitions or
+	// migration fallbacks).
+	Suspensions int64 `json:"suspensions"`
+	// Failed counts task incarnations killed by machine failures.
+	Failed int64 `json:"failed"`
+	// Rejected counts tasks never placed by the horizon.
+	Rejected int `json:"rejected"`
+	// Completed counts finished tasks.
+	Completed int `json:"completed"`
+}
+
+// derivedStreams builds the per-run random streams. Policy identity is
+// deliberately absent from the derivation: every cell of the matrix sees the
+// same generated world in run k, so differences in indexes are policy
+// effects, not sampling noise.
+func derivedStreams(sp *Spec, run int) *rng.Source {
+	return rng.New(sp.Seed).Derive(sp.Name).Derive(fmt.Sprintf("run-%03d", run))
+}
+
+// Migration/placement thresholds. The scheduler's busy gate must equal the
+// migration policies' Hi threshold: a machine the engine refuses to place on
+// is exactly a machine the evacuation policies would clear.
+const (
+	migrateHi = 0.8 // local load at/above which residents evacuate (and placement stops)
+	migrateLo = 0.2 // resume threshold for the suspension fallback
+	idleBelow = 0.5 // destination machines must be idler than this
+)
+
+// RunInstance executes one instance for one run index and returns its
+// indexes. It is deterministic: equal (spec, instance, run) yield equal
+// indexes.
+func RunInstance(inst Instance, run int) (Indexes, error) {
+	sp := inst.Spec.withDefaults()
+	if err := sp.Validate(); err != nil {
+		return Indexes{}, err
+	}
+	root := derivedStreams(sp, run)
+	horizon := time.Duration(sp.HorizonS * float64(time.Second))
+
+	// ---- world generation (shared across matrix cells) ----
+	c := sim.NewCluster()
+	c.Net = netsim.New(netsim.Link{
+		Latency:   time.Duration(sp.Machines.LatencyMs * float64(time.Millisecond)),
+		Bandwidth: sp.Machines.BandwidthMiBps * (1 << 20),
+	})
+	specs, slots, err := generateMachines(sp.Machines, root.Derive("machines"))
+	if err != nil {
+		return Indexes{}, err
+	}
+	machines := make([]*sim.Machine, len(specs))
+	for i, mspec := range specs {
+		m, err := c.AddMachine(mspec)
+		if err != nil {
+			return Indexes{}, err
+		}
+		machines[i] = m
+	}
+
+	// down marks failed machines; ownerLoad remembers the owner trace's
+	// current level so repair restores the owner's load, not idle, and a
+	// trace step during an outage is deferred instead of reviving the
+	// machine.
+	down := make(map[string]bool)
+	ownerLoad := make(map[string]float64)
+	if sp.Owner != nil {
+		ownerRng := root.Derive("owner")
+		for _, m := range machines {
+			m := m
+			steps := workload.BurstyTrace(ownerRng, horizon,
+				time.Duration(sp.Owner.MeanIdleS*float64(time.Second)),
+				time.Duration(sp.Owner.MeanBusyS*float64(time.Second)),
+				sp.Owner.BusyLoad)
+			for _, s := range steps {
+				load := s.Load
+				c.Sim.At(s.At, func() {
+					ownerLoad[m.Name()] = load
+					if !down[m.Name()] {
+						m.SetLocalLoad(load)
+					}
+				})
+			}
+		}
+	}
+
+	workRng := root.Derive("work")
+	imageBytes := int64(sp.Workload.ImageMiB * (1 << 20))
+	type taskGen struct {
+		id          string
+		work        float64
+		arrival     time.Duration
+		constrained bool
+	}
+	gens := make([]taskGen, sp.Workload.Tasks)
+	for i := range gens {
+		gens[i] = taskGen{id: fmt.Sprintf("task-%03d", i), work: sp.Workload.Work.Sample(workRng)}
+	}
+	if con := sp.Workload.Constrained; con != nil {
+		conRng := root.Derive("constraints")
+		for i := range gens {
+			gens[i].constrained = conRng.Bool(con.Fraction)
+		}
+	}
+	if sp.Workload.Arrivals.Kind == "poisson" {
+		arrRng := root.Derive("arrivals")
+		t := 0.0
+		for i := range gens {
+			t += arrRng.ExpFloat64() / sp.Workload.Arrivals.RatePerS
+			gens[i].arrival = time.Duration(t * float64(time.Second))
+		}
+	}
+
+	// ---- per-cell state ----
+	idx := Indexes{}
+	pol, err := newSchedPolicy(inst.Sched)
+	if err != nil {
+		return Indexes{}, err
+	}
+
+	var ck *migrate.Checkpointer
+	var lb *loadbalance.VCEMigrate
+	var stealth *loadbalance.Stealth
+	attachMigrate := func(strategy migrate.Strategy) {
+		lb = loadbalance.NewVCEMigrate(migrateHi, migrateLo, idleBelow, strategy)
+		lb.Attach(c)
+	}
+	newRecompile := func() *migrate.Recompile {
+		return &migrate.Recompile{Cost: compilemgr.CostModel{Base: 60 * time.Second, PerMiB: time.Second}}
+	}
+	switch inst.Migration {
+	case "none":
+	case "suspend":
+		stealth = loadbalance.NewStealth(migrateHi, migrateLo)
+		stealth.Attach(c)
+	case "address-space":
+		attachMigrate(migrate.AddressSpace{})
+	case "checkpoint":
+		ck = migrate.NewCheckpointer(time.Duration(sp.CheckpointIntervalS * float64(time.Second)))
+		attachMigrate(ck)
+	case "recompile":
+		attachMigrate(newRecompile())
+	case "adaptive":
+		ck = migrate.NewCheckpointer(time.Duration(sp.CheckpointIntervalS * float64(time.Second)))
+		picker, err := migrate.NewPicker(migrate.AddressSpace{}, ck, newRecompile())
+		if err != nil {
+			return Indexes{}, err
+		}
+		attachMigrate(picker)
+	default:
+		return Indexes{}, fmt.Errorf("scenario: unknown migration strategy %q", inst.Migration)
+	}
+
+	// ---- scheduling loop ----
+	// Portable tasks accept every machine; constrained tasks only their
+	// pinned class.
+	allNames := make([]string, len(machines))
+	for i, m := range machines {
+		allNames[i] = m.Name()
+	}
+	var pinnedNames []string
+	if con := sp.Workload.Constrained; con != nil {
+		class, err := arch.ParseClass(con.Class)
+		if err != nil {
+			return Indexes{}, err
+		}
+		for _, m := range machines {
+			if m.Spec.Class == class {
+				pinnedNames = append(pinnedNames, m.Name())
+			}
+		}
+	}
+	candOf := make(map[string][]string)
+	attached := make(map[string]bool)
+	everPlaced := make(map[string]bool)
+	var waiting []sched.Item
+	taskByID := make(map[string]*sim.Task)
+	var completedSum float64
+	var makespan time.Duration
+
+	// tryPlace is re-entered through cluster change notifications (AddTask
+	// fires OnChange, which calls tryPlace): the guard collapses re-entrant
+	// calls into one extra pass after the current one finishes, so every
+	// pass works from a fresh free-slot snapshot and machines are never
+	// over-subscribed past their Slots.
+	placing := false
+	placeAgain := false
+	var tryPlace func()
+	tryPlace = func() {
+		if placing {
+			placeAgain = true
+			return
+		}
+		placing = true
+		defer func() { placing = false }()
+		for {
+			placeAgain = false
+			if len(waiting) == 0 {
+				return
+			}
+			var states []sched.MachineState
+			for i, m := range machines {
+				free := slots[i] - m.RemoteTasks()
+				// Down machines and owner-occupied machines take no new
+				// placements (the DAWGS idle-placement discipline); residents
+				// are the migration/suspension policies' problem.
+				if down[m.Name()] || m.LocalLoad() >= migrateHi || free <= 0 {
+					continue
+				}
+				states = append(states, sched.MachineState{Machine: m.Spec, Load: m.Load(), Slots: free})
+			}
+			if len(states) == 0 {
+				return
+			}
+			placed, left := pol.Place(waiting, states)
+			waiting = left
+			for _, a := range placed {
+				t := taskByID[string(a.Task)]
+				var host *sim.Machine
+				for _, m := range machines {
+					if m.Name() == a.Machine {
+						host = m
+						break
+					}
+				}
+				if host == nil {
+					continue
+				}
+				if err := host.AddTask(t); err != nil {
+					// Placement raced a policy callback; requeue.
+					waiting = append(waiting, sched.Item{Task: a.Task, Candidates: candOf[t.ID], Work: t.Remaining()})
+					continue
+				}
+				everPlaced[t.ID] = true
+				if ck != nil && t.Checkpointable && !attached[t.ID] {
+					attached[t.ID] = true
+					_ = ck.Attach(c, t)
+				}
+			}
+			if !placeAgain {
+				return
+			}
+		}
+	}
+
+	submit := func(g taskGen) {
+		t := &sim.Task{
+			ID:             g.id,
+			Work:           g.work,
+			ImageBytes:     imageBytes,
+			Checkpointable: sp.Workload.Checkpointable,
+			OnDone: func(_ *sim.Task, at time.Duration) {
+				idx.Completed++
+				completedSum += at.Seconds()
+				if at > makespan {
+					makespan = at
+				}
+				tryPlace()
+			},
+		}
+		taskByID[g.id] = t
+		cands := allNames
+		if g.constrained {
+			cands = pinnedNames
+		}
+		candOf[g.id] = cands
+		waiting = append(waiting, sched.Item{Task: taskgraph.TaskID(g.id), Candidates: cands, Work: g.work})
+		tryPlace()
+	}
+	for _, g := range gens {
+		g := g
+		if g.arrival >= horizon {
+			idx.Rejected++ // never arrives inside the horizon
+			continue
+		}
+		c.Sim.At(g.arrival, func() { submit(g) })
+	}
+
+	// Owner departures free machines: retry placement on load drops.
+	c.OnChange(func(m *sim.Machine, _ time.Duration) {
+		if m.LocalLoad() < migrateHi && !down[m.Name()] {
+			tryPlace()
+		}
+	})
+
+	// ---- fault injection ----
+	if sp.Faults != nil {
+		faultRng := root.Derive("faults")
+		mtbf := sp.Faults.MTBFHours * 3600
+		downFor := time.Duration(sp.Faults.DownS * float64(time.Second))
+		for _, m := range machines {
+			m := m
+			t := 0.0
+			for {
+				t += faultRng.ExpFloat64() * mtbf
+				at := time.Duration(t * float64(time.Second))
+				if at >= horizon {
+					break
+				}
+				c.Sim.At(at, func() {
+					if down[m.Name()] {
+						return
+					}
+					down[m.Name()] = true
+					for _, victim := range m.Tasks() {
+						killed, err := m.Kill(victim.ID)
+						if err != nil {
+							continue
+						}
+						idx.Failed++
+						// Restart from the last checkpoint (scratch if none).
+						_ = killed.Rewind(killed.CheckpointedWork)
+						waiting = append(waiting, sched.Item{
+							Task: taskgraph.TaskID(killed.ID), Candidates: candOf[killed.ID], Work: killed.Remaining(),
+						})
+					}
+					m.SetLocalLoad(1)
+					// Surviving machines may have free slots for the
+					// requeued victims; don't wait for an unrelated event.
+					tryPlace()
+				})
+				repairAt := at + downFor
+				if repairAt < horizon {
+					c.Sim.At(repairAt, func() {
+						down[m.Name()] = false
+						// Hand the machine back to its owner at the
+						// owner trace's current level, not blanket idle.
+						m.SetLocalLoad(ownerLoad[m.Name()])
+						tryPlace()
+					})
+				}
+				t = repairAt.Seconds()
+			}
+		}
+	}
+
+	// ---- run and measure ----
+	c.Sim.RunUntil(horizon)
+	end := c.Sim.Now()
+
+	// Rejected counts tasks that never got a placement; fault-requeued tasks
+	// stranded in the queue at the horizon were placed once and already show
+	// up in Failed, not here.
+	for _, it := range waiting {
+		if !everPlaced[string(it.Task)] {
+			idx.Rejected++
+		}
+	}
+	if makespan == 0 {
+		makespan = end
+	}
+	idx.MakespanS = makespan.Seconds()
+	if end > 0 {
+		idx.ThroughputPerH = float64(idx.Completed) / end.Hours()
+	}
+	if idx.Completed > 0 {
+		idx.MeanCompletionS = completedSum / float64(idx.Completed)
+	}
+	var util float64
+	for _, m := range machines {
+		util += m.RemoteUtilization(end)
+	}
+	if len(machines) > 0 {
+		idx.UtilizationPct = 100 * util / float64(len(machines))
+	}
+	if lb != nil {
+		idx.Migrations = lb.Migrations
+		idx.Suspensions = lb.FallbackSuspends
+	}
+	if stealth != nil {
+		idx.Suspensions = stealth.Suspensions
+	}
+	return idx, nil
+}
+
+// Progress reports engine progress to an observer (the CLI's live log).
+type Progress func(inst Instance, run int, idx Indexes)
+
+// Run executes every instance of the spec for the configured number of runs
+// and returns the aggregated report. progress may be nil.
+func Run(spec *Spec, progress Progress) (*Report, error) {
+	sp := spec.withDefaults()
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Spec: sp}
+	for _, inst := range sp.Instances() {
+		cell := Cell{Sched: inst.Sched, Migration: inst.Migration}
+		for run := 0; run < sp.Runs; run++ {
+			idx, err := RunInstance(inst, run)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %s run %d: %w", inst.Key(), run, err)
+			}
+			cell.Runs = append(cell.Runs, idx)
+			if progress != nil {
+				progress(inst, run, idx)
+			}
+		}
+		rep.Cells = append(rep.Cells, cell)
+	}
+	return rep, nil
+}
+
+// dist builds a metrics.Dist over a per-run index extracted by f.
+func dist(runs []Indexes, f func(Indexes) float64) *metrics.Dist {
+	var d metrics.Dist
+	for _, r := range runs {
+		d.Observe(f(r))
+	}
+	return &d
+}

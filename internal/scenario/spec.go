@@ -1,0 +1,418 @@
+// Package scenario is the declarative experiment engine over the VCE
+// simulator: a Spec describes a machine-set model, a workload model, a
+// fault/churn model and a policy matrix; the engine expands the spec into
+// concrete instances (one per scheduling-policy × migration-strategy cell),
+// runs each instance for N independent seeds on the discrete-event cluster,
+// and aggregates per-run indexes into mean±stddev comparison tables.
+//
+// The shape follows the simulation modules of the load-balancing literature:
+// an instance generator, a simulation controller that repeats each instance
+// across seeds for stable statistics, and an analyzer that computes the
+// comparison indexes and exports them as text, Markdown, CSV and JSON. It
+// generalizes the hand-coded harnesses in internal/experiments: a new VCE
+// evaluation is a JSON file, not a Go program.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"vce/internal/rng"
+	"vce/internal/sched"
+)
+
+// Dist is a parameterized scalar distribution, the generator primitive for
+// machine speeds and task work.
+type Dist struct {
+	// Kind selects the distribution: "fixed", "uniform", "pareto" or
+	// "normal".
+	Kind string `json:"dist"`
+	// Value is the constant for "fixed".
+	Value float64 `json:"value,omitempty"`
+	// Min and Max bound "uniform".
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+	// Alpha and Xmin shape "pareto" (bounded Pareto, heavy tail).
+	Alpha float64 `json:"alpha,omitempty"`
+	Xmin  float64 `json:"xmin,omitempty"`
+	// Mean and Stddev shape "normal".
+	Mean   float64 `json:"mean,omitempty"`
+	Stddev float64 `json:"stddev,omitempty"`
+}
+
+// validate checks the distribution's parameters; field names the spec
+// location for error messages.
+func (d Dist) validate(field string) error {
+	switch d.Kind {
+	case "fixed":
+		if d.Value <= 0 {
+			return fmt.Errorf("scenario: %s: fixed dist needs positive value, got %v", field, d.Value)
+		}
+	case "uniform":
+		if d.Min <= 0 || d.Max < d.Min {
+			return fmt.Errorf("scenario: %s: uniform dist needs 0 < min <= max, got [%v, %v]", field, d.Min, d.Max)
+		}
+	case "pareto":
+		if d.Alpha <= 0 || d.Xmin <= 0 {
+			return fmt.Errorf("scenario: %s: pareto dist needs positive alpha and xmin, got alpha=%v xmin=%v", field, d.Alpha, d.Xmin)
+		}
+	case "normal":
+		if d.Mean <= 0 || d.Stddev < 0 {
+			return fmt.Errorf("scenario: %s: normal dist needs positive mean and non-negative stddev, got mean=%v stddev=%v", field, d.Mean, d.Stddev)
+		}
+	case "":
+		return fmt.Errorf("scenario: %s: missing \"dist\" kind", field)
+	default:
+		return fmt.Errorf("scenario: %s: unknown dist kind %q (want fixed, uniform, pareto or normal)", field, d.Kind)
+	}
+	return nil
+}
+
+// Sample draws one variate. Draws are clamped to a small positive floor so
+// speeds and work units stay valid whatever the parameters.
+func (d Dist) Sample(r *rng.Source) float64 {
+	var v float64
+	switch d.Kind {
+	case "fixed":
+		v = d.Value
+	case "uniform":
+		v = r.Range(d.Min, d.Max)
+	case "pareto":
+		v = r.Pareto(d.Alpha, d.Xmin)
+	case "normal":
+		v = d.Mean + d.Stddev*r.NormFloat64()
+	}
+	if v < 1e-3 {
+		v = 1e-3
+	}
+	return v
+}
+
+// MachineClassSpec generates one group of machines of a single architecture
+// class — the "MIMD group, SIMD group and workstation group" population
+// model, with per-class counts and speed distributions.
+type MachineClassSpec struct {
+	// Class is the architecture class keyword: "workstation", "mimd",
+	// "simd" or "vector".
+	Class string `json:"class"`
+	// Count is how many machines of this class to generate.
+	Count int `json:"count"`
+	// Speed distributes relative machine speed (1.0 = 1994 workstation).
+	Speed Dist `json:"speed"`
+	// MemoryMB overrides the class default physical memory.
+	MemoryMB int `json:"memory_mb,omitempty"`
+	// Slots is how many concurrent remote tasks each machine accepts
+	// (default 1).
+	Slots int `json:"slots,omitempty"`
+}
+
+// MachineSetSpec is the generated cluster configuration: treating the
+// machine population itself as a parameterized input rather than a fixed
+// testbed.
+type MachineSetSpec struct {
+	// Classes lists the machine groups to generate.
+	Classes []MachineClassSpec `json:"classes"`
+	// BandwidthMiBps sets interconnect bandwidth in MiB/s (default 1).
+	BandwidthMiBps float64 `json:"bandwidth_mib_s,omitempty"`
+	// LatencyMs sets per-transfer latency in milliseconds (default 0).
+	LatencyMs float64 `json:"latency_ms,omitempty"`
+}
+
+// ArrivalSpec shapes task submission times.
+type ArrivalSpec struct {
+	// Kind is "batch" (everything at t=0) or "poisson".
+	Kind string `json:"kind"`
+	// RatePerS is the Poisson arrival rate (tasks/second).
+	RatePerS float64 `json:"rate_per_s,omitempty"`
+}
+
+// ConstrainedSpec marks a fraction of tasks as capability-constrained: they
+// can only run on machines of one class. This is the §4.3 "machine A"
+// situation — the axis on which throughput-first and per-job greedy
+// placement diverge.
+type ConstrainedSpec struct {
+	// Fraction of tasks that are constrained, in [0, 1].
+	Fraction float64 `json:"fraction"`
+	// Class is the only machine class the constrained tasks accept.
+	Class string `json:"class"`
+}
+
+// WorkloadSpec generates the task population.
+type WorkloadSpec struct {
+	// Tasks is the number of tasks submitted.
+	Tasks int `json:"tasks"`
+	// Work distributes per-task work units.
+	Work Dist `json:"work"`
+	// Arrivals shapes submission times.
+	Arrivals ArrivalSpec `json:"arrivals"`
+	// ImageMiB sizes the task image in MiB (migration cost; default 1).
+	ImageMiB float64 `json:"image_mib,omitempty"`
+	// Checkpointable marks tasks as checkpoint-cooperative.
+	Checkpointable bool `json:"checkpointable,omitempty"`
+	// Constrained, when present, pins a fraction of tasks to one class.
+	Constrained *ConstrainedSpec `json:"constrained,omitempty"`
+}
+
+// OwnerSpec is the workstation-owner churn model: alternating exponential
+// idle/busy periods on every machine ("execution of remote tasks is resumed
+// when activity of locally initiated tasks diminishes", §4.3).
+type OwnerSpec struct {
+	// MeanIdleS and MeanBusyS are the mean period lengths in seconds.
+	MeanIdleS float64 `json:"mean_idle_s"`
+	MeanBusyS float64 `json:"mean_busy_s"`
+	// BusyLoad is the local load level while the owner is active
+	// (default 1.0).
+	BusyLoad float64 `json:"busy_load,omitempty"`
+}
+
+// FaultSpec is the machine-failure model: each machine fails independently
+// with exponential inter-failure times; a failure kills resident tasks
+// (restarting them from their last checkpoint, or scratch) and takes the
+// machine down for a repair period.
+type FaultSpec struct {
+	// MTBFHours is the per-machine mean time between failures, in hours.
+	MTBFHours float64 `json:"mtbf_h"`
+	// DownS is how long a failed machine stays down, in seconds.
+	DownS float64 `json:"down_s"`
+}
+
+// PolicyMatrix crosses scheduling policies with migration strategies; each
+// cell becomes one concrete instance.
+type PolicyMatrix struct {
+	// Scheduling lists sched policy names ("greedy-best-fit",
+	// "utilization-first").
+	Scheduling []string `json:"scheduling"`
+	// Migration lists migration strategy names ("none", "suspend",
+	// "address-space", "checkpoint", "recompile", "adaptive").
+	Migration []string `json:"migration"`
+}
+
+// Spec is one declarative scenario.
+type Spec struct {
+	// Name identifies the scenario in artifacts.
+	Name string `json:"name"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// HorizonS is the simulated duration in seconds (default 3600).
+	HorizonS float64 `json:"horizon_s,omitempty"`
+	// Machines generates the cluster.
+	Machines MachineSetSpec `json:"machines"`
+	// Workload generates the tasks.
+	Workload WorkloadSpec `json:"workload"`
+	// Owner, when present, plays owner-activity churn on every machine.
+	Owner *OwnerSpec `json:"owner_activity,omitempty"`
+	// Faults, when present, injects machine failures.
+	Faults *FaultSpec `json:"faults,omitempty"`
+	// Policies is the comparison matrix.
+	Policies PolicyMatrix `json:"policies"`
+	// Runs is how many independent seeds each instance runs (default 5).
+	Runs int `json:"runs,omitempty"`
+	// Seed is the root seed; every stream derives from it, so equal
+	// (spec, seed) reproduce identical indexes.
+	Seed uint64 `json:"seed,omitempty"`
+	// CheckpointIntervalS is the checkpoint period for the "checkpoint"
+	// and "adaptive" strategies, in seconds (default 30).
+	CheckpointIntervalS float64 `json:"checkpoint_interval_s,omitempty"`
+}
+
+// SchedPolicyNames lists the recognized scheduling policy names.
+func SchedPolicyNames() []string { return []string{"greedy-best-fit", "utilization-first"} }
+
+// MigrationNames lists the recognized migration strategy names.
+func MigrationNames() []string {
+	return []string{"none", "suspend", "address-space", "checkpoint", "recompile", "adaptive"}
+}
+
+// newSchedPolicy resolves a scheduling policy name.
+func newSchedPolicy(name string) (sched.Policy, error) {
+	switch name {
+	case "greedy-best-fit":
+		return sched.GreedyBestFit{}, nil
+	case "utilization-first":
+		return sched.UtilizationFirst{}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown scheduling policy %q (want one of %s)",
+			name, strings.Join(SchedPolicyNames(), ", "))
+	}
+}
+
+// knownMigration reports whether name is a recognized migration strategy.
+func knownMigration(name string) bool {
+	for _, m := range MigrationNames() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// classPrefixes maps class keywords to generated machine-name prefixes and
+// default memory, mirroring the workload.Testbed conventions.
+var classDefaults = map[string]struct {
+	prefix   string
+	memoryMB int
+}{
+	"workstation": {"ws", 64},
+	"ws":          {"ws", 64},
+	"mimd":        {"mimd", 512},
+	"simd":        {"simd", 1024},
+	"vector":      {"vec", 2048},
+}
+
+// Validate checks the spec for structural errors: empty matrices, unknown
+// policy or class names, and malformed distributions.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	if len(s.Machines.Classes) == 0 {
+		return fmt.Errorf("scenario: %s: machines.classes is empty", s.Name)
+	}
+	total := 0
+	for i, cl := range s.Machines.Classes {
+		key := strings.ToLower(strings.TrimSpace(cl.Class))
+		if _, ok := classDefaults[key]; !ok {
+			return fmt.Errorf("scenario: %s: machines.classes[%d]: unknown class %q (want workstation, mimd, simd or vector)", s.Name, i, cl.Class)
+		}
+		if cl.Count <= 0 {
+			return fmt.Errorf("scenario: %s: machines.classes[%d] (%s): count must be positive, got %d", s.Name, i, cl.Class, cl.Count)
+		}
+		if cl.Slots < 0 {
+			return fmt.Errorf("scenario: %s: machines.classes[%d] (%s): negative slots", s.Name, i, cl.Class)
+		}
+		if err := cl.Speed.validate(fmt.Sprintf("%s: machines.classes[%d].speed", s.Name, i)); err != nil {
+			return err
+		}
+		total += cl.Count
+	}
+	if s.Machines.BandwidthMiBps < 0 || s.Machines.LatencyMs < 0 {
+		return fmt.Errorf("scenario: %s: negative network parameters", s.Name)
+	}
+	if s.Workload.Tasks <= 0 {
+		return fmt.Errorf("scenario: %s: workload.tasks must be positive, got %d", s.Name, s.Workload.Tasks)
+	}
+	if err := s.Workload.Work.validate(s.Name + ": workload.work"); err != nil {
+		return err
+	}
+	switch s.Workload.Arrivals.Kind {
+	case "batch", "":
+	case "poisson":
+		if s.Workload.Arrivals.RatePerS <= 0 {
+			return fmt.Errorf("scenario: %s: poisson arrivals need positive rate_per_s", s.Name)
+		}
+	default:
+		return fmt.Errorf("scenario: %s: unknown arrival kind %q (want batch or poisson)", s.Name, s.Workload.Arrivals.Kind)
+	}
+	if s.Workload.ImageMiB < 0 {
+		return fmt.Errorf("scenario: %s: negative image_mib", s.Name)
+	}
+	if con := s.Workload.Constrained; con != nil {
+		if con.Fraction < 0 || con.Fraction > 1 {
+			return fmt.Errorf("scenario: %s: constrained.fraction %v outside [0, 1]", s.Name, con.Fraction)
+		}
+		key := strings.ToLower(strings.TrimSpace(con.Class))
+		def, ok := classDefaults[key]
+		if !ok {
+			return fmt.Errorf("scenario: %s: constrained.class: unknown class %q", s.Name, con.Class)
+		}
+		present := false
+		for _, cl := range s.Machines.Classes {
+			if d, ok := classDefaults[strings.ToLower(strings.TrimSpace(cl.Class))]; ok && d.prefix == def.prefix {
+				present = true
+				break
+			}
+		}
+		if !present {
+			return fmt.Errorf("scenario: %s: constrained.class %q has no machines in machines.classes — constrained tasks could never run", s.Name, con.Class)
+		}
+	}
+	if s.Owner != nil {
+		if s.Owner.MeanIdleS <= 0 || s.Owner.MeanBusyS <= 0 {
+			return fmt.Errorf("scenario: %s: owner_activity needs positive mean_idle_s and mean_busy_s", s.Name)
+		}
+		if s.Owner.BusyLoad < 0 {
+			return fmt.Errorf("scenario: %s: negative owner busy_load", s.Name)
+		}
+	}
+	if s.Faults != nil {
+		if s.Faults.MTBFHours <= 0 || s.Faults.DownS <= 0 {
+			return fmt.Errorf("scenario: %s: faults need positive mtbf_h and down_s", s.Name)
+		}
+	}
+	if len(s.Policies.Scheduling) == 0 {
+		return fmt.Errorf("scenario: %s: policies.scheduling is empty", s.Name)
+	}
+	for _, name := range s.Policies.Scheduling {
+		if _, err := newSchedPolicy(name); err != nil {
+			return err
+		}
+	}
+	if len(s.Policies.Migration) == 0 {
+		return fmt.Errorf("scenario: %s: policies.migration is empty", s.Name)
+	}
+	for _, name := range s.Policies.Migration {
+		if !knownMigration(name) {
+			return fmt.Errorf("scenario: unknown migration strategy %q (want one of %s)",
+				name, strings.Join(MigrationNames(), ", "))
+		}
+	}
+	if s.Runs < 0 || s.HorizonS < 0 || s.CheckpointIntervalS < 0 {
+		return fmt.Errorf("scenario: %s: negative runs, horizon_s or checkpoint_interval_s", s.Name)
+	}
+	return nil
+}
+
+// withDefaults returns a copy with defaulted fields filled in.
+func (s *Spec) withDefaults() *Spec {
+	out := *s
+	if out.HorizonS == 0 {
+		out.HorizonS = 3600
+	}
+	if out.Runs == 0 {
+		out.Runs = 5
+	}
+	if out.Machines.BandwidthMiBps == 0 {
+		out.Machines.BandwidthMiBps = 1
+	}
+	if out.Workload.ImageMiB == 0 {
+		out.Workload.ImageMiB = 1
+	}
+	if out.Workload.Arrivals.Kind == "" {
+		out.Workload.Arrivals.Kind = "batch"
+	}
+	if out.CheckpointIntervalS == 0 {
+		out.CheckpointIntervalS = 30
+	}
+	if out.Owner != nil && out.Owner.BusyLoad == 0 {
+		o := *out.Owner
+		o.BusyLoad = 1
+		out.Owner = &o
+	}
+	return &out
+}
+
+// Parse decodes and validates a JSON spec. Unknown fields are rejected so
+// typos fail loudly instead of silently running a different scenario.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(data)
+}

@@ -16,6 +16,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"vce/internal/arch"
@@ -214,6 +215,9 @@ func (m *Machine) onCompletion() {
 	}
 	m.reschedule(now)
 	m.recordUtil(now)
+	// Simultaneous completions fire OnDone in ID order, not map order, so
+	// scenario runs are reproducible event-for-event.
+	sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
 	for _, t := range finished {
 		m.cluster.taskCount--
 		if t.OnDone != nil {
@@ -298,12 +302,14 @@ func (m *Machine) SetSuspended(s bool) {
 	m.cluster.notifyChange(m)
 }
 
-// Tasks returns the resident task IDs (copy).
+// Tasks returns the resident tasks (copy) in ID order, so policies that walk
+// residents (migration evacuation) behave deterministically.
 func (m *Machine) Tasks() []*Task {
 	out := make([]*Task, 0, len(m.tasks))
 	for _, t := range m.tasks {
 		out = append(out, t)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
