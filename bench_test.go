@@ -5,9 +5,13 @@
 package vce_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"vce/internal/experiments"
+	"vce/internal/scenario"
 )
 
 func benchExperiment(b *testing.B, run func() (*experiments.Result, error)) {
@@ -81,3 +85,33 @@ func BenchmarkE7bAdaptivePicker(b *testing.B) { benchExperiment(b, experiments.E
 
 // BenchmarkE13Utilization regenerates E13 (§4.3 utilization/throughput).
 func BenchmarkE13Utilization(b *testing.B) { benchExperiment(b, experiments.E13Utilization) }
+
+// BenchmarkScenarioEngine measures the parallel scenario executor on a
+// multi-seed hetero-baseline sweep (6 matrix cells × 8 seeds = 48 jobs) at
+// increasing worker counts. workers=1 is the serial baseline; on an N-core
+// machine the wider rows should approach an N-fold wall-clock speedup, and
+// every row produces the byte-identical report (the merge is order-free).
+func BenchmarkScenarioEngine(b *testing.B) {
+	widths := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, workers := range widths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sp, err := scenario.Builtin("hetero-baseline")
+			if err != nil {
+				b.Fatal(err)
+			}
+			sp.Runs = 8
+			for i := 0; i < b.N; i++ {
+				rep, err := scenario.RunContext(context.Background(), sp, scenario.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := len(rep.Cells); got != 6 {
+					b.Fatalf("got %d cells, want 6", got)
+				}
+			}
+		})
+	}
+}

@@ -8,14 +8,17 @@
 //
 //	vcebench -spec examples/scenarios/hetero-baseline.json -runs 5 -out /tmp/vcebench
 //	vcebench -name owner-churn -out /tmp/churn
+//	vcebench -name hetero-baseline -workers 8 -timeout 30s
 //	vcebench -list                      # show built-in scenarios
 //	vcebench -name faulty-fleet -dump   # print the spec JSON and exit
 //
-// Runs are deterministic: the same spec and -seed reproduce identical
-// indexes.
+// The (instance × run) grid fans out across -workers goroutines (default:
+// one per CPU). Runs are deterministic: the same spec and -seed reproduce
+// byte-identical artifacts at any worker count.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,6 +37,9 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "override the spec's root seed")
 		out      = flag.String("out", "", "output directory for artifacts (omit to print the table only)")
 		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
+		workers  = flag.Int("workers", 0, "concurrent (instance, run) jobs (0 = one per CPU)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none)")
+		keepOn   = flag.Bool("keep-going", false, "collect per-run errors instead of failing fast; report what succeeded")
 	)
 	flag.Parse()
 
@@ -66,15 +72,31 @@ func main() {
 
 	var progress scenario.Progress
 	if !*quiet {
+		// The engine serializes progress calls, so plain Fprintf is safe
+		// even at -workers > 1 (lines arrive in completion order).
 		progress = func(inst scenario.Instance, run int, idx scenario.Indexes) {
 			fmt.Fprintf(os.Stderr, "%-40s run %d: completed=%d makespan=%.0fs migrations=%d failed=%d\n",
 				inst.Key(), run, idx.Completed, idx.MakespanS, idx.Migrations, idx.Failed)
 		}
 	}
-	rep, err := scenario.Run(sp, progress)
-	if err != nil {
-		fatal(err)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
+	rep, err := scenario.RunContext(ctx, sp, scenario.Options{
+		Workers:         *workers,
+		ContinueOnError: *keepOn,
+		Progress:        progress,
+	})
+	if err != nil {
+		if rep == nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vcebench: partial results: %v\n", err)
+	}
+	partial := err != nil
 	fmt.Println(rep.ComparisonTable().String())
 	if *out != "" {
 		written, err := rep.WriteArtifacts(*out)
@@ -84,6 +106,9 @@ func main() {
 		for _, p := range written {
 			fmt.Printf("wrote %s\n", p)
 		}
+	}
+	if partial {
+		os.Exit(1)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 
@@ -22,17 +23,22 @@ func E14ScenarioMatrix() (*Result, error) {
 	}
 	spec.Runs = 3 // enough seeds for stable means at harness speed
 
-	rep, err := scenario.Run(spec, nil)
+	// The sweep fans out across all CPUs (the executor default); the
+	// reproducibility check below re-runs it single-threaded, so E14 also
+	// witnesses the executor's parallel-equals-serial merge contract on
+	// every regeneration.
+	ctx := context.Background()
+	rep, err := scenario.RunContext(ctx, spec, scenario.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("E14: %w", err)
 	}
 	// Determinism: the engine's reproducibility contract, checked live.
-	rep2, err := scenario.Run(spec, nil)
+	rep2, err := scenario.RunContext(ctx, spec, scenario.Options{Workers: 1})
 	if err != nil {
 		return nil, fmt.Errorf("E14: %w", err)
 	}
 	if !reflect.DeepEqual(rep.Cells, rep2.Cells) {
-		return nil, fmt.Errorf("E14: same spec + seed produced different indexes")
+		return nil, fmt.Errorf("E14: same spec + seed produced different indexes across worker counts")
 	}
 
 	meanMakespan := func(sched, migration string) (float64, error) {

@@ -18,6 +18,19 @@ type Cell struct {
 	Migration string `json:"migration"`
 	// Runs holds the per-seed indexes in run order.
 	Runs []Indexes `json:"runs"`
+	// RunNumbers lists the original run index of each Runs entry. A
+	// complete sweep yields 0..Runs-1; a partial report (ContinueOnError
+	// with failures, or cancellation) keeps the survivors' true seed
+	// identities so runs.csv rows still correlate with run indexes.
+	RunNumbers []int `json:"run_numbers,omitempty"`
+}
+
+// runNumber returns the original run index of entry i.
+func (c *Cell) runNumber(i int) int {
+	if i < len(c.RunNumbers) {
+		return c.RunNumbers[i]
+	}
+	return i
 }
 
 // Report is the analyzed outcome of a scenario: every cell with its per-run
@@ -67,7 +80,14 @@ func (r *Report) ComparisonTable() *metrics.Table {
 	for _, c := range indexColumns() {
 		cols = append(cols, c.name)
 	}
-	t := metrics.NewTable(fmt.Sprintf("%s: policy matrix, mean ± stddev over %d runs", r.Spec.Name, r.Spec.Runs), cols...)
+	title := fmt.Sprintf("%s: policy matrix, mean ± stddev over %d runs", r.Spec.Name, r.Spec.Runs)
+	for _, cell := range r.Cells {
+		if len(cell.Runs) != r.Spec.Runs {
+			title += " (partial: some runs missing, see indexes.csv runs column)"
+			break
+		}
+	}
+	t := metrics.NewTable(title, cols...)
 	for _, cell := range r.Cells {
 		row := []interface{}{cell.Sched, cell.Migration}
 		for _, c := range indexColumns() {
@@ -105,8 +125,8 @@ func (r *Report) RunsTable() *metrics.Table {
 	}
 	t := metrics.NewTable(r.Spec.Name+": per-run indexes", cols...)
 	for _, cell := range r.Cells {
-		for run, idx := range cell.Runs {
-			row := []interface{}{cell.Sched, cell.Migration, run}
+		for i, idx := range cell.Runs {
+			row := []interface{}{cell.Sched, cell.Migration, cell.runNumber(i)}
 			for _, c := range indexColumns() {
 				row = append(row, num(c.get(idx)))
 			}

@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Progress reports engine progress to an observer (the CLI's live log). The
+// executor serializes invocations — the callback never runs concurrently
+// with itself and needs no locking — but under more than one worker the
+// invocation order is completion order, not cell/run order.
+type Progress func(inst Instance, run int, idx Indexes)
+
+// Options configure a sweep execution.
+type Options struct {
+	// Workers is how many (instance, run) cells execute concurrently.
+	// Zero or negative means runtime.GOMAXPROCS(0). The report is
+	// byte-identical across worker counts: results are merged back in
+	// cell/run order whatever order jobs finish in.
+	Workers int
+	// ContinueOnError keeps the sweep going when a cell run fails:
+	// RunContext then returns the partial report (failed runs omitted from
+	// their cell's Runs) together with the joined errors. The default is
+	// fail-fast — the first error cancels the remaining jobs and is
+	// returned with a nil report; with more than one worker that is the
+	// error at the lowest cell/run position among the jobs that actually
+	// ran, since cancellation may stop earlier grid positions from ever
+	// starting.
+	ContinueOnError bool
+	// Progress observes completed runs; may be nil. See Progress.
+	Progress Progress
+}
+
+// job and outcome are the executor's fan-out and fan-in records; cell and
+// run index into the expansion-order instance and run-number grids.
+type job struct {
+	cell, run int
+}
+
+type outcome struct {
+	cell, run int
+	idx       Indexes
+	err       error
+}
+
+// Run executes every instance of the spec for the configured number of runs
+// and returns the aggregated report. progress may be nil. It is the
+// serial-era signature kept for convenience: one worker per available CPU,
+// fail-fast, no cancellation.
+func Run(spec *Spec, progress Progress) (*Report, error) {
+	return RunContext(context.Background(), spec, Options{Progress: progress})
+}
+
+// RunContext executes the sweep under a context with explicit options: a
+// worker pool fans the (instance × run) grid out as independent jobs — each
+// builds a fully isolated simulation world from the spec's per-run derived
+// random streams — and the results merge back into the Report in expansion
+// order. For a fixed spec and seed the report is byte-identical regardless
+// of worker count. Cancelling ctx halts in-flight simulations promptly;
+// RunContext then returns ctx's error (joined with the partial report when
+// ContinueOnError is set).
+func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) {
+	sp := spec.withDefaults()
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	insts := sp.Instances()
+	jobs := make([]job, 0, len(insts)*sp.Runs)
+	for cell := range insts {
+		for run := 0; run < sp.Runs; run++ {
+			jobs = append(jobs, job{cell: cell, run: run})
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// The derived ctx lets fail-fast and early errors stop the feeder and
+	// the in-flight simulations without disturbing the caller's context.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobCh := make(chan job)
+	outCh := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The send never blocks forever: the fan-in below drains outCh
+			// until it closes, so every started job delivers its outcome
+			// even after cancellation — dropping outcomes here would make
+			// the surfaced error depend on goroutine scheduling.
+			for j := range jobCh {
+				idx, err := RunInstanceContext(ctx, insts[j.cell], j.run)
+				outCh <- outcome{cell: j.cell, run: j.run, idx: idx, err: err}
+			}
+		}()
+	}
+	go func() { // feeder
+		defer close(jobCh)
+		for _, j := range jobs {
+			select {
+			case jobCh <- j:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() { // closer: fan-in ends when every worker has exited
+		wg.Wait()
+		close(outCh)
+	}()
+
+	// Fan-in runs on the calling goroutine. Results land in a grid indexed
+	// by (cell, run), so the merge below rebuilds the exact serial order no
+	// matter when jobs finish; progress fires here, hence serialized.
+	got := make([][]*Indexes, len(insts))
+	failed := make([][]error, len(insts))
+	for i := range insts {
+		got[i] = make([]*Indexes, sp.Runs)
+		failed[i] = make([]error, sp.Runs)
+	}
+	done := 0
+	for out := range outCh {
+		if out.err != nil {
+			failed[out.cell][out.run] = out.err
+			if !opts.ContinueOnError {
+				cancel() // fail fast: stop feeding, halt in-flight runs, drain
+			}
+			continue
+		}
+		done++
+		got[out.cell][out.run] = &out.idx
+		if opts.Progress != nil {
+			opts.Progress(insts[out.cell], out.run, out.idx)
+		}
+	}
+
+	// The grid is scanned in cell/run order, so the error that surfaces
+	// first is the one at the lowest matrix position among the jobs that
+	// ran, rather than whichever goroutine lost the race. Runs that failed only because cancellation
+	// reached them first collapse into one ctx error instead of repeating
+	// it per job — and a cancelled sweep always reports the ctx error, even
+	// when the unfinished jobs never got far enough to record their own.
+	var errs []error
+	ctxErr := ctx.Err()
+	for cell := range insts {
+		for run, err := range failed[cell] {
+			if err == nil || (ctxErr != nil && errors.Is(err, ctxErr)) {
+				continue
+			}
+			errs = append(errs, fmt.Errorf("scenario: %s run %d: %w", insts[cell].Key(), run, err))
+		}
+	}
+	if ctxErr != nil && done < len(jobs) {
+		errs = append(errs, fmt.Errorf("scenario: %s: %w", sp.Name, ctxErr))
+	}
+	if len(errs) > 0 && !opts.ContinueOnError {
+		return nil, errs[0]
+	}
+
+	rep := &Report{Spec: sp}
+	for cell, inst := range insts {
+		c := Cell{Sched: inst.Sched, Migration: inst.Migration}
+		var survivors []int
+		for run, idx := range got[cell] {
+			if idx != nil {
+				c.Runs = append(c.Runs, *idx)
+				survivors = append(survivors, run)
+			}
+		}
+		// Complete cells stay in the position-is-run-number format (and
+		// keep the JSON shape lean); only a cell with gaps needs explicit
+		// seed identities.
+		if len(c.Runs) != sp.Runs {
+			c.RunNumbers = survivors
+		}
+		rep.Cells = append(rep.Cells, c)
+	}
+	return rep, errors.Join(errs...)
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden artifacts instead of comparing them:
+//
+//	go test ./internal/scenario -run TestGoldenArtifacts -update
+var update = flag.Bool("update", false, "rewrite testdata/golden/* from the current engine output")
+
+// goldenSpec is deliberately tiny (one scheduling policy, two migration
+// strategies, two seeds, three machines) so the committed artifacts stay
+// small and a regression diff is readable.
+func goldenSpec() *Spec {
+	return &Spec{
+		Name:        "golden-tiny",
+		Description: "Pinned fixed-seed artifact fixture for the golden-file tests.",
+		HorizonS:    600,
+		Machines: MachineSetSpec{
+			BandwidthMiBps: 4,
+			Classes: []MachineClassSpec{
+				{Class: "workstation", Count: 3, Speed: Dist{Kind: "uniform", Min: 1, Max: 2}},
+			},
+		},
+		Workload: WorkloadSpec{
+			Tasks:    8,
+			Work:     Dist{Kind: "uniform", Min: 30, Max: 60},
+			Arrivals: ArrivalSpec{Kind: "batch"},
+			ImageMiB: 1,
+		},
+		Owner: &OwnerSpec{MeanIdleS: 120, MeanBusyS: 60, BusyLoad: 1},
+		Policies: PolicyMatrix{
+			Scheduling: []string{"greedy-best-fit"},
+			Migration:  []string{"suspend", "address-space"},
+		},
+		Runs: 2,
+		Seed: 42,
+	}
+}
+
+// TestGoldenArtifacts runs the fixture spec through the parallel executor
+// and compares every written artifact byte-for-byte against the committed
+// copies under testdata/golden. Any drift in the simulation, the index
+// arithmetic, the table renderers, or the executor's merge order shows up
+// here as a diff.
+func TestGoldenArtifacts(t *testing.T) {
+	rep, err := RunContext(context.Background(), goldenSpec(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	written, err := rep.WriteArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenDir := filepath.Join("testdata", "golden")
+	if *update {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, path := range written {
+		name := filepath.Base(path)
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenPath := filepath.Join(goldenDir, name)
+		if *update {
+			if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+			continue
+		}
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("missing golden file (regenerate with -update): %v", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s drifted from golden copy (regenerate with -update if intended):\n--- got ---\n%s\n--- want ---\n%s",
+				name, clip(got), clip(want))
+		}
+	}
+}
+
+// clip bounds artifact dumps in failure messages.
+func clip(b []byte) string {
+	const max = 2048
+	if len(b) <= max {
+		return string(b)
+	}
+	return fmt.Sprintf("%s\n... (%d more bytes)", b[:max], len(b)-max)
+}

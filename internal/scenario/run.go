@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -60,12 +61,32 @@ const (
 	idleBelow = 0.5 // destination machines must be idler than this
 )
 
+// cancelProbes is how many cancellation probe points a cancellable run
+// spreads across its horizon: enough that a cancelled context halts the
+// event loop promptly, few enough that probes are noise in the event count.
+const cancelProbes = 256
+
 // RunInstance executes one instance for one run index and returns its
 // indexes. It is deterministic: equal (spec, instance, run) yield equal
 // indexes.
 func RunInstance(inst Instance, run int) (Indexes, error) {
+	return RunInstanceContext(context.Background(), inst, run)
+}
+
+// RunInstanceContext is RunInstance under a context: a cancelled or expired
+// ctx halts the discrete-event loop at the next probe tick and returns
+// ctx's error. The instance builds a fully isolated world — its own
+// event kernel, cluster, machines, policies and derived random streams —
+// so concurrent calls share no mutable state and the executor can fan
+// (instance, run) cells out across goroutines. An uncancelled ctx yields
+// indexes bitwise-identical to RunInstance: the probe events observe the
+// simulation without mutating it or consuming random draws.
+func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, error) {
 	sp := inst.Spec.withDefaults()
 	if err := sp.Validate(); err != nil {
+		return Indexes{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Indexes{}, err
 	}
 	root := derivedStreams(sp, run)
@@ -367,7 +388,36 @@ func RunInstance(inst Instance, run int) (Indexes, error) {
 	}
 
 	// ---- run and measure ----
+	// A cancellable ctx installs a self-rescheduling probe that halts the
+	// kernel once ctx is done. Probes never touch world state or random
+	// streams, so indexes are unchanged when ctx survives; Background's nil
+	// Done channel skips them entirely.
+	halted := false
+	if done := ctx.Done(); done != nil {
+		interval := horizon / cancelProbes
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+		var probe func()
+		probe = func() {
+			select {
+			case <-done:
+				halted = true
+				c.Sim.Halt()
+			default:
+				c.Sim.After(interval, probe)
+			}
+		}
+		c.Sim.After(interval, probe)
+	}
 	c.Sim.RunUntil(horizon)
+	// Only a run the probe actually truncated is discarded: a context that
+	// expires after the final event has run leaves the indexes complete and
+	// valid, and throwing them away would shrink partial reports for no
+	// reason.
+	if halted {
+		return Indexes{}, ctx.Err()
+	}
 	end := c.Sim.Now()
 
 	// Rejected counts tasks that never got a placement; fault-requeued tasks
@@ -403,34 +453,6 @@ func RunInstance(inst Instance, run int) (Indexes, error) {
 		idx.Suspensions = stealth.Suspensions
 	}
 	return idx, nil
-}
-
-// Progress reports engine progress to an observer (the CLI's live log).
-type Progress func(inst Instance, run int, idx Indexes)
-
-// Run executes every instance of the spec for the configured number of runs
-// and returns the aggregated report. progress may be nil.
-func Run(spec *Spec, progress Progress) (*Report, error) {
-	sp := spec.withDefaults()
-	if err := sp.Validate(); err != nil {
-		return nil, err
-	}
-	rep := &Report{Spec: sp}
-	for _, inst := range sp.Instances() {
-		cell := Cell{Sched: inst.Sched, Migration: inst.Migration}
-		for run := 0; run < sp.Runs; run++ {
-			idx, err := RunInstance(inst, run)
-			if err != nil {
-				return nil, fmt.Errorf("scenario: %s run %d: %w", inst.Key(), run, err)
-			}
-			cell.Runs = append(cell.Runs, idx)
-			if progress != nil {
-				progress(inst, run, idx)
-			}
-		}
-		rep.Cells = append(rep.Cells, cell)
-	}
-	return rep, nil
 }
 
 // dist builds a metrics.Dist over a per-run index extracted by f.
