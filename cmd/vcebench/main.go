@@ -23,11 +23,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"vce/internal/scenario"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body with a normal return path, so the profiling defers
+// fire even when the sweep ends in an error exit code.
+func run() int {
 	var (
 		specPath = flag.String("spec", "", "path to a scenario spec JSON file")
 		name     = flag.String("name", "", "built-in scenario name (see -list)")
@@ -40,20 +46,50 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent (instance, run) jobs (0 = one per CPU)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none)")
 		keepOn   = flag.Bool("keep-going", false, "collect per-run errors instead of failing fast; report what succeeded")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile after the sweep to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows real retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, n := range scenario.BuiltinNames() {
 			sp, _ := scenario.Builtin(n)
 			fmt.Printf("%-16s %s\n", n, sp.Description)
 		}
-		return
+		return 0
 	}
 
 	sp, err := loadSpec(*specPath, *name)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *runs > 0 {
 		sp.Runs = *runs
@@ -65,9 +101,9 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(sp); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	var progress scenario.Progress
@@ -92,7 +128,7 @@ func main() {
 	})
 	if err != nil {
 		if rep == nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "vcebench: partial results: %v\n", err)
 	}
@@ -101,15 +137,16 @@ func main() {
 	if *out != "" {
 		written, err := rep.WriteArtifacts(*out)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		for _, p := range written {
 			fmt.Printf("wrote %s\n", p)
 		}
 	}
 	if partial {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func loadSpec(specPath, name string) (*scenario.Spec, error) {
@@ -125,7 +162,7 @@ func loadSpec(specPath, name string) (*scenario.Spec, error) {
 	}
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return 1
 }

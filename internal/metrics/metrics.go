@@ -30,17 +30,35 @@ func (c *Counter) Value() int64 { return c.n }
 // Dist accumulates a sample distribution and reports summary statistics.
 // Samples are retained, so quantiles are exact; experiment scales here are
 // small enough (≤ millions of samples) that this is the simple correct choice.
+//
+// Min and max are tracked incrementally, so Mean/Min/Max are O(1) and never
+// sort: interleaving Observe with summary reads (the monitoring pattern) no
+// longer re-sorts the sample slice per read. Stddev stays the exact two-pass
+// computation — a Welford running variance rounds differently in the last
+// ulps, and the scenario artifacts pin stddev bytes at full precision — but
+// its result is cached, so repeated reads between observations are O(1).
+// Only Quantile sorts, and only when new samples arrived since the last sort.
 type Dist struct {
-	samples []float64
-	sorted  bool
-	sum     float64
+	samples  []float64
+	sorted   bool
+	sum      float64
+	min, max float64
+	stddev   float64
+	stddevOK bool
 }
 
 // Observe records one sample.
 func (d *Dist) Observe(v float64) {
 	d.samples = append(d.samples, v)
 	d.sorted = false
+	d.stddevOK = false
 	d.sum += v
+	if len(d.samples) == 1 || v < d.min {
+		d.min = v
+	}
+	if len(d.samples) == 1 || v > d.max {
+		d.max = v
+	}
 }
 
 // ObserveDuration records a duration sample in seconds.
@@ -65,8 +83,7 @@ func (d *Dist) Min() float64 {
 	if len(d.samples) == 0 {
 		return 0
 	}
-	d.ensureSorted()
-	return d.samples[0]
+	return d.min
 }
 
 // Max returns the largest sample, or 0 with no samples.
@@ -74,8 +91,7 @@ func (d *Dist) Max() float64 {
 	if len(d.samples) == 0 {
 		return 0
 	}
-	d.ensureSorted()
-	return d.samples[len(d.samples)-1]
+	return d.max
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation.
@@ -100,19 +116,25 @@ func (d *Dist) Quantile(q float64) float64 {
 	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
 }
 
-// Stddev returns the population standard deviation.
+// Stddev returns the population standard deviation. The exact two-pass
+// result is cached until the next Observe, so repeated summary reads cost
+// O(1) and the value is bit-stable against published artifact bytes.
 func (d *Dist) Stddev() float64 {
 	n := len(d.samples)
 	if n == 0 {
 		return 0
 	}
-	mean := d.Mean()
-	var ss float64
-	for _, v := range d.samples {
-		dev := v - mean
-		ss += dev * dev
+	if !d.stddevOK {
+		mean := d.Mean()
+		var ss float64
+		for _, v := range d.samples {
+			dev := v - mean
+			ss += dev * dev
+		}
+		d.stddev = math.Sqrt(ss / float64(n))
+		d.stddevOK = true
 	}
-	return math.Sqrt(ss / float64(n))
+	return d.stddev
 }
 
 func (d *Dist) ensureSorted() {

@@ -199,3 +199,67 @@ func TestTrimFloat(t *testing.T) {
 		}
 	}
 }
+
+// TestDistInterleavedObserveAndSummary pins the incremental-statistics
+// contract: alternating Observe with Min/Max/Mean/Stddev reads (the
+// monitoring pattern) must stay correct — and the samples slice must keep
+// its insertion order between reads, since Min/Max no longer sort it.
+func TestDistInterleavedObserveAndSummary(t *testing.T) {
+	var d Dist
+	vals := []float64{5, 1, 9, 3, 7, 2, 8}
+	lo, hi, sum := vals[0], vals[0], 0.0
+	for i, v := range vals {
+		d.Observe(v)
+		sum += v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		if d.Min() != lo || d.Max() != hi {
+			t.Fatalf("after %d samples: min/max = %v/%v, want %v/%v", i+1, d.Min(), d.Max(), lo, hi)
+		}
+		if got, want := d.Mean(), sum/float64(i+1); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("mean = %v, want %v", got, want)
+		}
+		// Stddev must recompute after every Observe (cache invalidation).
+		mean := sum / float64(i+1)
+		var ss float64
+		for _, w := range vals[:i+1] {
+			ss += (w - mean) * (w - mean)
+		}
+		if got, want := d.Stddev(), math.Sqrt(ss/float64(i+1)); got != want {
+			t.Fatalf("stddev after %d samples = %v, want %v (stale cache?)", i+1, got, want)
+		}
+	}
+	// Quantile still sorts on demand and stays exact.
+	if got := d.Quantile(0.5); got != 5 {
+		t.Fatalf("median = %v, want 5", got)
+	}
+	// And a post-Quantile Observe keeps min/max/stddev fresh.
+	d.Observe(0)
+	if d.Min() != 0 || d.Max() != 9 {
+		t.Fatalf("min/max after late observe = %v/%v", d.Min(), d.Max())
+	}
+}
+
+// TestDistStddevMatchesTwoPass pins the bit-stability guarantee: Stddev is
+// the exact two-pass population computation (not a running approximation),
+// because scenario artifacts publish its bytes at full precision.
+func TestDistStddevMatchesTwoPass(t *testing.T) {
+	var d Dist
+	vals := []float64{842.2500495409358, 745.3294044427646, 1764.319283496, 1627.904650011}
+	for _, v := range vals {
+		d.Observe(v)
+	}
+	mean := d.Mean()
+	var ss float64
+	for _, v := range vals {
+		ss += (v - mean) * (v - mean)
+	}
+	want := math.Sqrt(ss / float64(len(vals)))
+	if got := d.Stddev(); got != want {
+		t.Fatalf("stddev = %b, want exact two-pass %b", got, want)
+	}
+}

@@ -114,13 +114,14 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 	// down marks failed machines; ownerLoad remembers the owner trace's
 	// current level so repair restores the owner's load, not idle, and a
 	// trace step during an outage is deferred instead of reviving the
-	// machine.
-	down := make(map[string]bool)
-	ownerLoad := make(map[string]float64)
+	// machine. Both are keyed by Machine.Index: these are consulted on
+	// every machine-change notification, so no name hashing on that path.
+	down := make([]bool, len(machines))
+	ownerLoad := make([]float64, len(machines))
 	if sp.Owner != nil {
 		ownerRng := root.Derive("owner")
-		for _, m := range machines {
-			m := m
+		for mi, m := range machines {
+			mi, m := mi, m
 			steps := workload.BurstyTrace(ownerRng, horizon,
 				time.Duration(sp.Owner.MeanIdleS*float64(time.Second)),
 				time.Duration(sp.Owner.MeanBusyS*float64(time.Second)),
@@ -128,8 +129,8 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 			for _, s := range steps {
 				load := s.Load
 				c.Sim.At(s.At, func() {
-					ownerLoad[m.Name()] = load
-					if !down[m.Name()] {
+					ownerLoad[mi] = load
+					if !down[mi] {
 						m.SetLocalLoad(load)
 					}
 				})
@@ -206,12 +207,16 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 
 	// ---- scheduling loop ----
 	// Portable tasks accept every machine; constrained tasks only their
-	// pinned class.
+	// pinned class. Candidate sets carry both names and Machine.Index ids
+	// (same order) so the placement policies take their hash-free path.
 	allNames := make([]string, len(machines))
+	allIDs := make([]int, len(machines))
 	for i, m := range machines {
 		allNames[i] = m.Name()
+		allIDs[i] = m.Index()
 	}
 	var pinnedNames []string
+	var pinnedIDs []int
 	if con := sp.Workload.Constrained; con != nil {
 		class, err := arch.ParseClass(con.Class)
 		if err != nil {
@@ -220,10 +225,12 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 		for _, m := range machines {
 			if m.Spec.Class == class {
 				pinnedNames = append(pinnedNames, m.Name())
+				pinnedIDs = append(pinnedIDs, m.Index())
 			}
 		}
 	}
 	candOf := make(map[string][]string)
+	candIDsOf := make(map[string][]int)
 	attached := make(map[string]bool)
 	everPlaced := make(map[string]bool)
 	var waiting []sched.Item
@@ -238,6 +245,9 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 	// over-subscribed past their Slots.
 	placing := false
 	placeAgain := false
+	// statesBuf is reused across placement passes: Place snapshots the
+	// machine states it needs, so the buffer is dead once Place returns.
+	var statesBuf []sched.MachineState
 	var tryPlace func()
 	tryPlace = func() {
 		if placing {
@@ -251,17 +261,18 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 			if len(waiting) == 0 {
 				return
 			}
-			var states []sched.MachineState
+			states := statesBuf[:0]
 			for i, m := range machines {
 				free := slots[i] - m.RemoteTasks()
 				// Down machines and owner-occupied machines take no new
 				// placements (the DAWGS idle-placement discipline); residents
 				// are the migration/suspension policies' problem.
-				if down[m.Name()] || m.LocalLoad() >= migrateHi || free <= 0 {
+				if down[i] || m.LocalLoad() >= migrateHi || free <= 0 {
 					continue
 				}
-				states = append(states, sched.MachineState{Machine: m.Spec, Load: m.Load(), Slots: free})
+				states = append(states, sched.MachineState{Machine: m.Spec, Load: m.Load(), Slots: free, Index: m.Index()})
 			}
+			statesBuf = states
 			if len(states) == 0 {
 				return
 			}
@@ -281,7 +292,7 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 				}
 				if err := host.AddTask(t); err != nil {
 					// Placement raced a policy callback; requeue.
-					waiting = append(waiting, sched.Item{Task: a.Task, Candidates: candOf[t.ID], Work: t.Remaining()})
+					waiting = append(waiting, sched.Item{Task: a.Task, Candidates: candOf[t.ID], CandidateIDs: candIDsOf[t.ID], Work: t.Remaining()})
 					continue
 				}
 				everPlaced[t.ID] = true
@@ -312,12 +323,13 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 			},
 		}
 		taskByID[g.id] = t
-		cands := allNames
+		cands, ids := allNames, allIDs
 		if g.constrained {
-			cands = pinnedNames
+			cands, ids = pinnedNames, pinnedIDs
 		}
 		candOf[g.id] = cands
-		waiting = append(waiting, sched.Item{Task: taskgraph.TaskID(g.id), Candidates: cands, Work: g.work})
+		candIDsOf[g.id] = ids
+		waiting = append(waiting, sched.Item{Task: taskgraph.TaskID(g.id), Candidates: cands, CandidateIDs: ids, Work: g.work})
 		tryPlace()
 	}
 	for _, g := range gens {
@@ -331,7 +343,7 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 
 	// Owner departures free machines: retry placement on load drops.
 	c.OnChange(func(m *sim.Machine, _ time.Duration) {
-		if m.LocalLoad() < migrateHi && !down[m.Name()] {
+		if m.LocalLoad() < migrateHi && !down[m.Index()] {
 			tryPlace()
 		}
 	})
@@ -341,8 +353,8 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 		faultRng := root.Derive("faults")
 		mtbf := sp.Faults.MTBFHours * 3600
 		downFor := time.Duration(sp.Faults.DownS * float64(time.Second))
-		for _, m := range machines {
-			m := m
+		for mi, m := range machines {
+			mi, m := mi, m
 			t := 0.0
 			for {
 				t += faultRng.ExpFloat64() * mtbf
@@ -351,10 +363,10 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 					break
 				}
 				c.Sim.At(at, func() {
-					if down[m.Name()] {
+					if down[mi] {
 						return
 					}
-					down[m.Name()] = true
+					down[mi] = true
 					for _, victim := range m.Tasks() {
 						killed, err := m.Kill(victim.ID)
 						if err != nil {
@@ -364,7 +376,8 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 						// Restart from the last checkpoint (scratch if none).
 						_ = killed.Rewind(killed.CheckpointedWork)
 						waiting = append(waiting, sched.Item{
-							Task: taskgraph.TaskID(killed.ID), Candidates: candOf[killed.ID], Work: killed.Remaining(),
+							Task: taskgraph.TaskID(killed.ID), Candidates: candOf[killed.ID],
+							CandidateIDs: candIDsOf[killed.ID], Work: killed.Remaining(),
 						})
 					}
 					m.SetLocalLoad(1)
@@ -375,10 +388,10 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 				repairAt := at + downFor
 				if repairAt < horizon {
 					c.Sim.At(repairAt, func() {
-						down[m.Name()] = false
+						down[mi] = false
 						// Hand the machine back to its owner at the
 						// owner trace's current level, not blanket idle.
-						m.SetLocalLoad(ownerLoad[m.Name()])
+						m.SetLocalLoad(ownerLoad[mi])
 						tryPlace()
 					})
 				}

@@ -78,6 +78,14 @@ type MachineState struct {
 	// Slots is how many additional tasks this machine accepts in this
 	// placement round.
 	Slots int
+	// Index is an optional caller-assigned dense id (e.g. the simulator's
+	// Machine.Index). It powers the hash-free Item.CandidateIDs fast path;
+	// callers that don't use CandidateIDs can leave it zero.
+	Index int
+
+	// scarce is UtilizationFirst's internal reservation count: waiting
+	// constrained items for which this machine is the only candidate.
+	scarce int
 }
 
 // Item is one task instance awaiting placement.
@@ -89,6 +97,14 @@ type Item struct {
 	// Candidates lists admissible machine names (already filtered by
 	// requirements).
 	Candidates []string
+	// CandidateIDs optionally carries the same admissible machines as
+	// MachineState.Index values, in the same order as Candidates. When
+	// set (and the caller assigned unique Index values to its states),
+	// policies resolve candidates by array index instead of hashing names
+	// — the placement hot path of event-frequency callers like the
+	// scenario engine. Candidates must still be populated; both views
+	// must agree.
+	CandidateIDs []int
 	// Work is the instance's expected work, used by cost heuristics.
 	Work float64
 }
@@ -107,8 +123,12 @@ type Policy interface {
 	// Name identifies the policy in experiment tables.
 	Name() string
 	// Place returns assignments and the items it chose to leave waiting.
-	// Implementations must not mutate items; machines' Slots are
-	// consumed as assignments are made.
+	// Implementations must not mutate items. The machines slice is the
+	// policy's working state for the round — Slots (and load estimates)
+	// are consumed in place as assignments are made, so callers that need
+	// the snapshot afterwards must pass a copy. Batch callers rebuild the
+	// snapshot per round anyway, and not copying keeps the per-event
+	// placement path allocation-lean.
 	Place(items []Item, machines []MachineState) ([]Assignment, []Item)
 }
 
@@ -123,30 +143,19 @@ func (GreedyBestFit) Name() string { return "greedy-best-fit" }
 
 // Place implements Policy.
 func (GreedyBestFit) Place(items []Item, machines []MachineState) ([]Assignment, []Item) {
-	state := indexMachines(machines)
-	var placed []Assignment
-	var waiting []Item
+	round := newRound(machines)
+	var cache candidateCache
+	placed := make([]Assignment, 0, placeCap(items, machines))
+	waiting := make([]Item, 0, len(items))
 	for _, it := range items {
-		best := ""
-		bestScore := -1.0
-		for _, cand := range it.Candidates {
-			ms, ok := state[cand]
-			if !ok || ms.Slots <= 0 {
-				continue
-			}
-			score := ms.Machine.Speed / (1 + ms.Load)
-			if score > bestScore {
-				bestScore = score
-				best = cand
-			}
-		}
-		if best == "" {
+		best := pickBest(it, &round, &cache, false)
+		if best == nil {
 			waiting = append(waiting, it)
 			continue
 		}
-		state[best].Slots--
-		state[best].Load += loadIncrement(it, state[best].Machine)
-		placed = append(placed, Assignment{Task: it.Task, Instance: it.Instance, Machine: best})
+		best.Slots--
+		best.Load += loadIncrement(it, best.Machine)
+		placed = append(placed, Assignment{Task: it.Task, Instance: it.Instance, Machine: best.Machine.Name})
 	}
 	return placed, waiting
 }
@@ -168,68 +177,247 @@ func (UtilizationFirst) Name() string { return "utilization-first" }
 
 // Place implements Policy.
 func (UtilizationFirst) Place(items []Item, machines []MachineState) ([]Assignment, []Item) {
-	state := indexMachines(machines)
-	// Scarcest-capability first; ties keep submission order.
-	order := make([]int, len(items))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return len(items[order[a]].Candidates) < len(items[order[b]].Candidates)
-	})
-
-	// scarceDemand[machine] counts waiting constrained items for which
-	// that machine is the only candidate.
-	scarceDemand := make(map[string]int)
+	round := newRound(machines)
+	var cache candidateCache
+	// A machine's scarce count tracks waiting constrained items for which
+	// it is the only candidate. Names absent from the snapshot are skipped
+	// as candidates anyway, so their demand can be dropped here. The same
+	// pass collects the distinct candidate-set sizes (almost always ≤ 2:
+	// one pinned class plus "any machine").
+	lenA, lenB := -1, -1 // distinct candidate-set sizes seen (at most two tracked)
+	moreSizes := false
 	for _, it := range items {
 		if len(it.Candidates) == 1 {
-			scarceDemand[it.Candidates[0]]++
+			var ms *MachineState
+			if it.CandidateIDs != nil {
+				ms = round.byID(it.CandidateIDs[0])
+			} else {
+				ms = round.lookup(it.Candidates[0])
+			}
+			if ms != nil {
+				ms.scarce++
+			}
+		}
+		switch n := len(it.Candidates); {
+		case lenA == -1 || n == lenA:
+			lenA = n
+		case lenB == -1 || n == lenB:
+			lenB = n
+		default:
+			moreSizes = true
 		}
 	}
-
-	var placed []Assignment
-	var waiting []Item
-	for _, idx := range order {
-		it := items[idx]
-		constrained := len(it.Candidates) == 1
-		best := ""
-		bestScore := -1.0
-		for _, cand := range it.Candidates {
-			ms, ok := state[cand]
-			if !ok || ms.Slots <= 0 {
-				continue
-			}
-			if !constrained && scarceDemand[cand] > 0 {
-				// Reserved for a task that can run nowhere else.
-				continue
-			}
-			score := ms.Machine.Speed / (1 + ms.Load)
-			if score > bestScore {
-				bestScore = score
-				best = cand
+	// Scarcest-capability first; ties keep submission order. With one
+	// distinct size the stable sort is the identity permutation; with two,
+	// a stable partition replaces the O(n log n) sort. More sizes fall back
+	// to sorting.
+	var order []int
+	switch {
+	case !moreSizes && lenB == -1:
+		// uniform: identity order
+	case !moreSizes:
+		small := lenA
+		if lenB < lenA {
+			small = lenB
+		}
+		order = make([]int, 0, len(items))
+		for i := range items {
+			if len(items[i].Candidates) == small {
+				order = append(order, i)
 			}
 		}
-		if best == "" {
+		for i := range items {
+			if len(items[i].Candidates) != small {
+				order = append(order, i)
+			}
+		}
+	default:
+		order = make([]int, len(items))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return len(items[order[a]].Candidates) < len(items[order[b]].Candidates)
+		})
+	}
+
+	placed := make([]Assignment, 0, placeCap(items, machines))
+	waiting := make([]Item, 0, len(items))
+	for pos := range items {
+		idx := pos
+		if order != nil {
+			idx = order[pos]
+		}
+		it := items[idx]
+		constrained := len(it.Candidates) == 1
+		// Flexible items skip machines reserved for tasks that can run
+		// nowhere else.
+		best := pickBest(it, &round, &cache, !constrained)
+		if best == nil {
 			waiting = append(waiting, it)
 			continue
 		}
 		if constrained {
-			scarceDemand[best]--
+			best.scarce--
 		}
-		state[best].Slots--
-		state[best].Load += loadIncrement(it, state[best].Machine)
-		placed = append(placed, Assignment{Task: it.Task, Instance: it.Instance, Machine: best})
+		best.Slots--
+		best.Load += loadIncrement(it, best.Machine)
+		placed = append(placed, Assignment{Task: it.Task, Instance: it.Instance, Machine: best.Machine.Name})
 	}
 	return placed, waiting
 }
 
-func indexMachines(machines []MachineState) map[string]*MachineState {
-	state := make(map[string]*MachineState, len(machines))
-	for i := range machines {
-		ms := machines[i] // copy: policies must not mutate caller state
-		state[ms.Machine.Name] = &ms
+// roundState wraps the caller's machine states as the round's working set
+// (the Policy contract hands the slice to the policy; no defensive copy).
+// Name lookup is served by a map built lazily on first use: batch callers
+// that pass CandidateIDs or positionally aligned candidate sets never pay
+// for building it.
+type roundState struct {
+	backing []MachineState
+	byName  map[string]*MachineState
+	byIndex []*MachineState
+}
+
+func newRound(machines []MachineState) roundState {
+	return roundState{backing: machines}
+}
+
+// positional reports whether cands names the snapshot's machines in order.
+// Callers like the scenario engine build candidate lists straight from the
+// machine fleet, so the name strings share headers with the snapshot's and
+// the comparison is effectively pointer equality per entry.
+func (r *roundState) positional(cands []string) bool {
+	if len(cands) != len(r.backing) {
+		return false
 	}
-	return state
+	for i := range cands {
+		if cands[i] != r.backing[i].Machine.Name {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *roundState) lookup(name string) *MachineState {
+	if r.byName == nil {
+		r.byName = make(map[string]*MachineState, len(r.backing))
+		for i := range r.backing {
+			r.byName[r.backing[i].Machine.Name] = &r.backing[i]
+		}
+	}
+	return r.byName[name]
+}
+
+// byID resolves a caller-assigned MachineState.Index to its snapshot entry,
+// nil when the id names no machine in this round. The index table is one
+// array fill — no hashing.
+func (r *roundState) byID(id int) *MachineState {
+	if r.byIndex == nil {
+		max := -1
+		for i := range r.backing {
+			if r.backing[i].Index > max {
+				max = r.backing[i].Index
+			}
+		}
+		r.byIndex = make([]*MachineState, max+1)
+		for i := range r.backing {
+			r.byIndex[r.backing[i].Index] = &r.backing[i]
+		}
+	}
+	if id < 0 || id >= len(r.byIndex) {
+		return nil
+	}
+	return r.byIndex[id]
+}
+
+// pickBest scans one item's candidates — by dense id when CandidateIDs is
+// set, by (cached) name resolution otherwise — and returns the
+// best-scoring machine with a free slot, nil when none qualifies. Equal
+// scores keep the earliest candidate, so candidate order is the
+// tie-breaker. With skipReserved, machines carrying scarce reservations
+// are passed over (UtilizationFirst's flexible items).
+func pickBest(it Item, round *roundState, cache *candidateCache, skipReserved bool) *MachineState {
+	var best *MachineState
+	bestScore := -1.0
+	consider := func(ms *MachineState) {
+		if ms == nil || ms.Slots <= 0 {
+			return
+		}
+		if skipReserved && ms.scarce > 0 {
+			return
+		}
+		score := ms.Machine.Speed / (1 + ms.Load)
+		if score > bestScore {
+			bestScore = score
+			best = ms
+		}
+	}
+	if ids := it.CandidateIDs; ids != nil {
+		for _, id := range ids {
+			consider(round.byID(id))
+		}
+	} else {
+		for _, ms := range cache.resolve(it.Candidates, round) {
+			consider(ms)
+		}
+	}
+	return best
+}
+
+// placeCap bounds how many assignments a round can produce: no more than
+// the items offered or the slots available.
+func placeCap(items []Item, machines []MachineState) int {
+	slots := 0
+	for i := range machines {
+		slots += machines[i].Slots
+	}
+	if slots > len(items) {
+		slots = len(items)
+	}
+	if slots < 0 {
+		slots = 0
+	}
+	return slots
+}
+
+// candidateCache memoizes the name→state resolution of recently seen
+// Candidates slices, keyed by slice identity. Batch callers (the scenario
+// engine, the experiment harnesses) reuse one slice header per candidate
+// class — typically "all machines" and one pinned subset, which may
+// interleave item-by-item — so two entries make resolution, the only string
+// hashing on the placement path, a once-per-class cost instead of
+// once-per-item×candidate. Unknown names resolve to nil and are skipped at
+// scoring time, exactly like the map-miss path they replace.
+type candidateCache struct {
+	entries [2]struct {
+		names []string
+		ms    []*MachineState
+	}
+}
+
+func (c *candidateCache) resolve(cands []string, r *roundState) []*MachineState {
+	if len(cands) == 0 {
+		return nil
+	}
+	for i := range c.entries {
+		e := &c.entries[i]
+		if len(e.names) == len(cands) && &e.names[0] == &cands[0] {
+			return e.ms
+		}
+	}
+	ms := make([]*MachineState, len(cands))
+	if r.positional(cands) {
+		for i := range ms {
+			ms[i] = &r.backing[i]
+		}
+	} else {
+		for i, n := range cands {
+			ms[i] = r.lookup(n)
+		}
+	}
+	c.entries[1] = c.entries[0]
+	c.entries[0].names, c.entries[0].ms = cands, ms
+	return ms
 }
 
 // loadIncrement estimates how much an item raises a machine's load, scaling

@@ -163,8 +163,9 @@ func TestPlaceRespectsSlots(t *testing.T) {
 		{Task: "t1", Candidates: []string{"A"}},
 		{Task: "t2", Candidates: []string{"A"}},
 	}
-	machines := []MachineState{ws("A", 1, 0, 1)}
 	for _, pol := range []Policy{GreedyBestFit{}, UtilizationFirst{}} {
+		// Fresh snapshot per policy: Place consumes the slice it is given.
+		machines := []MachineState{ws("A", 1, 0, 1)}
 		placed, waiting := pol.Place(items, machines)
 		if len(placed) != 1 || len(waiting) != 1 {
 			t.Fatalf("%s: placed=%d waiting=%d, want 1/1", pol.Name(), len(placed), len(waiting))
@@ -172,12 +173,22 @@ func TestPlaceRespectsSlots(t *testing.T) {
 	}
 }
 
-func TestPlaceDoesNotMutateCallerMachines(t *testing.T) {
+// TestPlaceConsumesMachineSlots pins the Policy contract: the machines
+// slice is the round's working state, so assignments consume the caller's
+// Slots in place (callers needing the snapshot afterwards pass a copy).
+// Items, by contrast, must never be mutated.
+func TestPlaceConsumesMachineSlots(t *testing.T) {
 	items := []Item{{Task: "t", Candidates: []string{"A"}}}
 	machines := []MachineState{ws("A", 1, 0, 1)}
-	_, _ = UtilizationFirst{}.Place(items, machines)
-	if machines[0].Slots != 1 {
-		t.Fatal("policy mutated caller's machine state")
+	placed, _ := UtilizationFirst{}.Place(items, machines)
+	if len(placed) != 1 {
+		t.Fatalf("placed = %d, want 1", len(placed))
+	}
+	if machines[0].Slots != 0 {
+		t.Fatalf("caller Slots = %d after placement, want 0 (consumed in place)", machines[0].Slots)
+	}
+	if items[0].Task != "t" || len(items[0].Candidates) != 1 {
+		t.Fatal("policy mutated caller's items")
 	}
 }
 

@@ -45,6 +45,82 @@ func BenchmarkClusterHour(b *testing.B) {
 	}
 }
 
+// BenchmarkSimHotPath measures the full event hot path at fleet scale:
+// 1k–10k processor-sharing machines with two churning task slots each plus
+// periodic owner-load steps, hundreds of thousands of kernel events per
+// iteration. This is the simulator-throughput number the scenario engine's
+// sweep capacity is built on; events/sec is the headline metric.
+func BenchmarkSimHotPath(b *testing.B) {
+	configs := []struct {
+		machines int
+		horizon  time.Duration
+	}{
+		{1000, time.Hour},
+		{10000, 15 * time.Minute},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		b.Run(fmt.Sprintf("machines=%d", cfg.machines), func(b *testing.B) {
+			const slots = 2
+			// Task IDs are reused across generations (a slot's successor
+			// arrives only after its predecessor left), so spawning is
+			// Sprintf-free and the loop measures kernel cost.
+			ids := make([][slots]string, cfg.machines)
+			names := make([]string, cfg.machines)
+			for j := range ids {
+				names[j] = fmt.Sprintf("m%05d", j)
+				for k := 0; k < slots; k++ {
+					ids[j][k] = fmt.Sprintf("m%05d-s%d", j, k)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var events int64
+			for i := 0; i < b.N; i++ {
+				c := NewCluster()
+				machines := make([]*Machine, cfg.machines)
+				for j := range machines {
+					m, err := c.AddMachine(arch.Machine{
+						Name: names[j], Class: arch.Workstation, Speed: 1, OS: "unix",
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					machines[j] = m
+				}
+				var spawn func(m *Machine, j, k int)
+				spawn = func(m *Machine, j, k int) {
+					_ = m.AddTask(&Task{
+						ID: ids[j][k], Work: float64(40 + 20*k),
+						OnDone: func(_ *Task, at time.Duration) {
+							if at < cfg.horizon {
+								spawn(m, j, k)
+							}
+						},
+					})
+				}
+				for j, m := range machines {
+					for k := 0; k < slots; k++ {
+						spawn(m, j, k)
+					}
+					// Owner activity steps exercise the O(1) advance +
+					// reschedule path against resident tasks.
+					steps := []LoadStep{
+						{At: 5 * time.Minute, Load: 0.4},
+						{At: 10 * time.Minute, Load: 0},
+					}
+					if err := c.PlayLoadTrace(m.Name(), steps); err != nil {
+						b.Fatal(err)
+					}
+				}
+				c.Sim.RunUntil(cfg.horizon)
+				events += c.Sim.Fired()
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
 // BenchmarkLoadSteps measures the cost of load-change events (the advance +
 // reschedule path) with resident tasks.
 func BenchmarkLoadSteps(b *testing.B) {

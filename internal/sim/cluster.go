@@ -30,6 +30,9 @@ type Cluster struct {
 	taskCount int
 	notifying bool
 	pending   []*Machine
+	// speedOrder caches machines by descending speed (stable on
+	// registration order) for IdleMachines; invalidated by AddMachine.
+	speedOrder []*Machine
 }
 
 // NewCluster returns an empty cluster over a fresh kernel and a 1994-LAN
@@ -54,9 +57,13 @@ func (c *Cluster) AddMachine(spec arch.Machine) (*Machine, error) {
 	if _, dup := c.machines[spec.Name]; dup {
 		return nil, fmt.Errorf("sim: duplicate machine %q", spec.Name)
 	}
-	m := &Machine{cluster: c, Spec: spec, tasks: make(map[string]*Task)}
+	m := &Machine{cluster: c, index: len(c.order), Spec: spec, byID: make(map[string]*Task)}
+	// One completion callback per machine, bound once: rescheduling the
+	// completion event never allocates a closure.
+	m.completionFn = m.onCompletion
 	c.machines[spec.Name] = m
 	c.order = append(c.order, spec.Name)
+	c.speedOrder = nil
 	return m, nil
 }
 
@@ -96,14 +103,18 @@ func (c *Cluster) notifyChange(m *Machine) {
 	}
 	c.notifying = true
 	defer func() { c.notifying = false }()
-	for len(c.pending) > 0 {
-		next := c.pending[0]
-		c.pending = c.pending[1:]
+	// Index-based FIFO drain: re-entrant notifications append while we
+	// iterate, and the buffer's capacity is reused across events instead of
+	// being sliced away from the front (which would force an allocation per
+	// notification).
+	for i := 0; i < len(c.pending); i++ {
+		next := c.pending[i]
 		now := c.Sim.Now()
 		for _, l := range c.listeners {
 			l(next, now)
 		}
 	}
+	c.pending = c.pending[:0]
 }
 
 // PlayLoadTrace schedules local-load steps on a machine.
@@ -134,38 +145,55 @@ func (c *Cluster) TransferTime(src, dst string, bytes int64) (time.Duration, err
 
 // IdleMachines returns machines with local load below threshold and no
 // resident remote tasks, sorted by descending speed — the free-parallelism
-// harvest set (§4.5).
+// harvest set (§4.5). Speeds are fixed at registration, so the speed order
+// is computed once per fleet and each call is a filter pass, not a sort.
 func (c *Cluster) IdleMachines(threshold float64) []*Machine {
+	if c.speedOrder == nil && len(c.order) > 0 {
+		c.speedOrder = make([]*Machine, 0, len(c.order))
+		for _, name := range c.order {
+			c.speedOrder = append(c.speedOrder, c.machines[name])
+		}
+		sort.SliceStable(c.speedOrder, func(i, j int) bool {
+			return c.speedOrder[i].Spec.Speed > c.speedOrder[j].Spec.Speed
+		})
+	}
 	var out []*Machine
-	for _, name := range c.order {
-		m := c.machines[name]
-		if m.localLoad < threshold && len(m.tasks) == 0 {
+	for _, m := range c.speedOrder {
+		if m.localLoad < threshold && len(m.ordered) == 0 {
 			out = append(out, m)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Spec.Speed > out[j].Spec.Speed })
 	return out
 }
 
 // LeastLoaded returns the n least-loaded machines admitted by req (what a
-// bid round would select), by ascending Load then name.
+// bid round would select), by ascending Load then name. The load key is
+// computed once per candidate before sorting, not O(n log n) times inside
+// the comparator.
 func (c *Cluster) LeastLoaded(req arch.Requirements, n int) []*Machine {
-	var cands []*Machine
+	type cand struct {
+		m    *Machine
+		load float64
+	}
+	var cands []cand
 	for _, name := range c.order {
 		m := c.machines[name]
 		if req.Admits(m.Spec) {
-			cands = append(cands, m)
+			cands = append(cands, cand{m, m.Load()})
 		}
 	}
 	sort.SliceStable(cands, func(i, j int) bool {
-		li, lj := cands[i].Load(), cands[j].Load()
-		if li != lj {
-			return li < lj
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
 		}
-		return cands[i].Name() < cands[j].Name()
+		return cands[i].m.Name() < cands[j].m.Name()
 	})
 	if len(cands) > n {
 		cands = cands[:n]
 	}
-	return cands
+	out := make([]*Machine, len(cands))
+	for i, c := range cands {
+		out[i] = c.m
+	}
+	return out
 }

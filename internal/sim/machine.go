@@ -12,6 +12,13 @@
 // Rates change only at events (task arrival/departure, load steps,
 // suspension), so progress is piecewise linear and completion times are
 // exact.
+//
+// Because every resident task progresses at the same rate, per-task progress
+// is bookkept in O(1) per event: the machine integrates a single cumulative
+// per-task "virtual work" accumulator, each task's progress is the
+// accumulator delta since its placement, and residents stay ordered by a
+// placement-time finish key, so the next completion is the front of the
+// slice and no event ever walks the full task set.
 package sim
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"vce/internal/arch"
 	"vce/internal/metrics"
+	"vce/internal/vtime"
 )
 
 // Task is one remote VCE task instance executing on the simulated cluster.
@@ -43,20 +51,32 @@ type Task struct {
 	// CheckpointedWork is the work captured by the latest checkpoint.
 	CheckpointedWork float64
 
-	machine    *Machine
-	doneWork   float64
-	lastUpdate time.Duration
-	startedAt  time.Duration
-	suspended  bool
-	finished   bool
+	machine *Machine
+	// doneWork is the materialized progress: exact while unplaced, the
+	// placement-time baseline while resident (current progress is doneWork
+	// plus the machine's accumulator delta since placement).
+	doneWork float64
+	// accumBase is the machine accumulator value at placement.
+	accumBase float64
+	// finishKey = (Work - doneWork) + accumBase at placement: constant for
+	// the whole residency, and ordering residents by (finishKey, ID) is
+	// ordering them by remaining work — the heart of the O(1) accounting.
+	finishKey float64
+	startedAt time.Duration
+	finished  bool
 }
 
 // DoneWork returns the work completed so far (valid after the owning
 // machine's advance, i.e. inside event callbacks).
-func (t *Task) DoneWork() float64 { return t.doneWork }
+func (t *Task) DoneWork() float64 {
+	if t.machine != nil {
+		return t.machine.progress(t)
+	}
+	return t.doneWork
+}
 
 // Remaining returns work still to do.
-func (t *Task) Remaining() float64 { return t.Work - t.doneWork }
+func (t *Task) Remaining() float64 { return t.Work - t.DoneWork() }
 
 // Machine returns the current host (nil when not placed).
 func (t *Task) Machine() *Machine { return t.machine }
@@ -67,13 +87,38 @@ func (t *Task) Finished() bool { return t.finished }
 // Machine is one simulated computer.
 type Machine struct {
 	cluster *Cluster
+	index   int // registration order, see Index
 	// Spec is the hardware description.
 	Spec arch.Machine
 
 	localLoad float64 // fraction of capacity consumed locally, >= 0
 	suspended bool    // remote tasks frozen (Stealth)
-	tasks     map[string]*Task
-	epoch     int64 // invalidates stale completion events
+
+	// accum integrates the per-task execution rate over time: the total
+	// work any task resident since the machine's creation would have
+	// completed. A task's progress is its placement baseline plus the
+	// accumulator delta since placement — O(1) per event, independent of
+	// the resident count.
+	accum      float64
+	lastUpdate time.Duration // virtual instant accum was advanced to
+
+	// ordered holds residents ascending by (finishKey, ID): front is the
+	// next completion. byID serves Kill/duplicate lookups.
+	ordered []*Task
+	byID    map[string]*Task
+	// maxWork is the high-water task size ever placed here; it bounds the
+	// completion-scan epsilon (workEpsilon is monotone in Work).
+	maxWork float64
+
+	// pending is the machine's single scheduled completion event; a
+	// reschedule cancels it natively instead of leaving a dead closure
+	// queued. completionFn is allocated once so rescheduling is
+	// closure-free.
+	pending      vtime.Event
+	completionFn func()
+
+	// finishedScratch is the reusable buffer for completion batches.
+	finishedScratch []*Task
 
 	// Monitoring.
 	remoteBusy  metrics.TimeWeighted // fraction of capacity running VCE work
@@ -89,7 +134,7 @@ func (m *Machine) LocalLoad() float64 { return m.localLoad }
 func (m *Machine) Suspended() bool { return m.suspended }
 
 // RemoteTasks returns the number of resident VCE tasks.
-func (m *Machine) RemoteTasks() int { return len(m.tasks) }
+func (m *Machine) RemoteTasks() int { return len(m.ordered) }
 
 // Completed returns how many tasks finished here.
 func (m *Machine) Completed() int64 { return m.completed }
@@ -97,10 +142,15 @@ func (m *Machine) Completed() int64 { return m.completed }
 // Name returns the machine name.
 func (m *Machine) Name() string { return m.Spec.Name }
 
+// Index returns the machine's registration order in its cluster (dense,
+// starting at 0). Event-frequency consumers key per-machine state by this
+// instead of hashing names.
+func (m *Machine) Index() int { return m.index }
+
 // Load returns the scheduler-visible load: local load plus remote demand
 // per unit capacity.
 func (m *Machine) Load() float64 {
-	return m.localLoad + float64(len(m.tasks))/maxf(m.Spec.Speed, 0.001)
+	return m.localLoad + float64(len(m.ordered))/maxf(m.Spec.Speed, 0.001)
 }
 
 // RemoteUtilization returns the time-weighted average fraction of capacity
@@ -118,25 +168,32 @@ func maxf(a, b float64) float64 {
 
 // remoteRatePerTask returns each resident task's current execution rate.
 func (m *Machine) remoteRatePerTask() float64 {
-	if m.suspended || len(m.tasks) == 0 {
+	if m.suspended || len(m.ordered) == 0 {
 		return 0
 	}
 	avail := m.Spec.Speed * maxf(0, 1-m.localLoad)
-	return avail / float64(len(m.tasks))
+	return avail / float64(len(m.ordered))
 }
 
-// advance accrues task progress from lastUpdate to now at the current rate.
+// advance accrues the shared progress accumulator from lastUpdate to now at
+// the current rate — O(1) regardless of how many tasks are resident.
 func (m *Machine) advance(now time.Duration) {
-	rate := m.remoteRatePerTask()
-	for _, t := range m.tasks {
-		if dt := now - t.lastUpdate; dt > 0 && rate > 0 {
-			t.doneWork += rate * dt.Seconds()
-			if t.doneWork > t.Work {
-				t.doneWork = t.Work
-			}
+	if dt := now - m.lastUpdate; dt > 0 {
+		if rate := m.remoteRatePerTask(); rate > 0 {
+			m.accum += rate * dt.Seconds()
 		}
-		t.lastUpdate = now
 	}
+	m.lastUpdate = now
+}
+
+// progress returns a resident task's completed work: the placement baseline
+// plus the accumulator delta since placement, capped at Work.
+func (m *Machine) progress(t *Task) float64 {
+	d := t.doneWork + (m.accum - t.accumBase)
+	if d > t.Work {
+		d = t.Work
+	}
+	return d
 }
 
 // recordUtil snapshots the utilization gauges after a state mutation; the
@@ -144,7 +201,7 @@ func (m *Machine) advance(now time.Duration) {
 func (m *Machine) recordUtil(now time.Duration) {
 	frac := 0.0
 	if m.Spec.Speed > 0 {
-		frac = m.remoteRatePerTask() * float64(len(m.tasks)) / m.Spec.Speed
+		frac = m.remoteRatePerTask() * float64(len(m.ordered)) / m.Spec.Speed
 	}
 	m.remoteBusy.Set(now, frac)
 	m.localBusy.Set(now, minf(m.localLoad, 1))
@@ -163,67 +220,117 @@ func workEpsilon(work float64) float64 {
 	return 1e-9 + 1e-12*work
 }
 
-// reschedule computes the earliest completion among resident tasks and
-// schedules its event. The epoch counter voids superseded events.
-func (m *Machine) reschedule(now time.Duration) {
-	m.epoch++
-	epoch := m.epoch
-	rate := m.remoteRatePerTask()
-	if rate <= 0 {
-		return // frozen or empty: nothing will complete
-	}
-	var next *Task
-	var nextRemaining float64
-	for _, t := range m.tasks {
-		rem := t.Work - t.doneWork
-		if next == nil || rem < nextRemaining || (rem == nextRemaining && t.ID < next.ID) {
-			next = t
-			nextRemaining = rem
+// insertOrdered places t into the residency order by (finishKey, ID).
+func (m *Machine) insertOrdered(t *Task) {
+	i := sort.Search(len(m.ordered), func(i int) bool {
+		o := m.ordered[i]
+		if o.finishKey != t.finishKey {
+			return o.finishKey > t.finishKey
+		}
+		return o.ID > t.ID
+	})
+	m.ordered = append(m.ordered, nil)
+	copy(m.ordered[i+1:], m.ordered[i:])
+	m.ordered[i] = t
+}
+
+// removeOrdered deletes t from the residency order.
+func (m *Machine) removeOrdered(t *Task) {
+	i := sort.Search(len(m.ordered), func(i int) bool {
+		o := m.ordered[i]
+		if o.finishKey != t.finishKey {
+			return o.finishKey >= t.finishKey
+		}
+		return o.ID >= t.ID
+	})
+	for ; i < len(m.ordered); i++ {
+		if m.ordered[i] == t {
+			copy(m.ordered[i:], m.ordered[i+1:])
+			m.ordered[len(m.ordered)-1] = nil
+			m.ordered = m.ordered[:len(m.ordered)-1]
+			return
 		}
 	}
-	if next == nil {
-		return
+}
+
+// reschedule cancels the machine's pending completion event and, when work
+// can progress, schedules the front resident's completion. The front of the
+// residency order is the earliest completion (ties by ID), so this is O(1)
+// plus the kernel's O(log n) queue ops — no scan, and no dead event left
+// behind.
+func (m *Machine) reschedule(now time.Duration) {
+	m.cluster.Sim.Cancel(m.pending)
+	rate := m.remoteRatePerTask()
+	if rate <= 0 || len(m.ordered) == 0 {
+		return // frozen or empty: nothing will complete
 	}
-	eta := time.Duration(nextRemaining / rate * float64(time.Second))
+	next := m.ordered[0]
+	eta := time.Duration((next.Work - m.progress(next)) / rate * float64(time.Second))
 	if eta < time.Nanosecond {
 		// Floor at the clock granularity: a zero-delay event would
 		// re-fire at the same timestamp without accruing progress,
 		// livelocking the simulation on float residue.
 		eta = time.Nanosecond
 	}
-	m.cluster.Sim.After(eta, func() {
-		if m.epoch != epoch {
-			return // rates changed since; a newer event is scheduled
-		}
-		m.onCompletion()
-	})
+	m.pending = m.cluster.Sim.After(eta, m.completionFn)
 }
 
 // onCompletion fires when the earliest task finishes.
 func (m *Machine) onCompletion() {
 	now := m.cluster.Sim.Now()
 	m.advance(now)
-	var finished []*Task
-	for id, t := range m.tasks {
-		if t.Work-t.doneWork <= workEpsilon(t.Work) {
+	// Completion candidates form a prefix of the residency order: bound the
+	// scan by the largest per-task epsilon any resident could have.
+	bound := workEpsilon(m.maxWork)
+	scan := 0
+	for scan < len(m.ordered) {
+		t := m.ordered[scan]
+		if t.Work-m.progress(t) > bound {
+			break
+		}
+		scan++
+	}
+	finished := m.finishedScratch[:0]
+	w := 0
+	for i := 0; i < scan; i++ {
+		t := m.ordered[i]
+		if t.Work-m.progress(t) <= workEpsilon(t.Work) {
+			t.doneWork = m.progress(t)
 			t.finished = true
 			t.machine = nil
-			delete(m.tasks, id)
+			delete(m.byID, t.ID)
 			finished = append(finished, t)
 			m.completed++
+		} else {
+			m.ordered[w] = t
+			w++
 		}
+	}
+	if w != scan {
+		copy(m.ordered[w:], m.ordered[scan:])
+		n := len(m.ordered) - (scan - w)
+		for i := n; i < len(m.ordered); i++ {
+			m.ordered[i] = nil
+		}
+		m.ordered = m.ordered[:n]
 	}
 	m.reschedule(now)
 	m.recordUtil(now)
-	// Simultaneous completions fire OnDone in ID order, not map order, so
-	// scenario runs are reproducible event-for-event.
-	sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
+	// Simultaneous completions fire OnDone in ID order, not residency
+	// order, so scenario runs are reproducible event-for-event.
+	if len(finished) > 1 {
+		sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
+	}
 	for _, t := range finished {
 		m.cluster.taskCount--
 		if t.OnDone != nil {
 			t.OnDone(t, now)
 		}
 	}
+	for i := range finished {
+		finished[i] = nil // don't retain finished tasks via the scratch buffer
+	}
+	m.finishedScratch = finished[:0]
 	m.cluster.notifyChange(m)
 }
 
@@ -236,17 +343,22 @@ func (m *Machine) AddTask(t *Task) error {
 	if t.finished {
 		return fmt.Errorf("sim: task %q already finished", t.ID)
 	}
-	if _, dup := m.tasks[t.ID]; dup {
+	if _, dup := m.byID[t.ID]; dup {
 		return fmt.Errorf("sim: duplicate task %q on %s", t.ID, m.Name())
 	}
 	now := m.cluster.Sim.Now()
 	m.advance(now)
 	t.machine = m
-	t.lastUpdate = now
+	t.accumBase = m.accum
+	t.finishKey = (t.Work - t.doneWork) + m.accum
 	if t.startedAt == 0 && t.doneWork == 0 {
 		t.startedAt = now
 	}
-	m.tasks[t.ID] = t
+	m.insertOrdered(t)
+	m.byID[t.ID] = t
+	if t.Work > m.maxWork {
+		m.maxWork = t.Work
+	}
 	m.cluster.taskCount++
 	m.reschedule(now)
 	m.recordUtil(now)
@@ -257,13 +369,15 @@ func (m *Machine) AddTask(t *Task) error {
 // Kill removes a task without completing it, firing OnKilled. The task's
 // accrued work survives in doneWork (checkpoint strategies read it).
 func (m *Machine) Kill(id string) (*Task, error) {
-	t, ok := m.tasks[id]
+	t, ok := m.byID[id]
 	if !ok {
 		return nil, fmt.Errorf("sim: no task %q on %s", id, m.Name())
 	}
 	now := m.cluster.Sim.Now()
 	m.advance(now)
-	delete(m.tasks, id)
+	t.doneWork = m.progress(t)
+	delete(m.byID, id)
+	m.removeOrdered(t)
 	t.machine = nil
 	m.killedCount++
 	m.cluster.taskCount--
@@ -305,10 +419,8 @@ func (m *Machine) SetSuspended(s bool) {
 // Tasks returns the resident tasks (copy) in ID order, so policies that walk
 // residents (migration evacuation) behave deterministically.
 func (m *Machine) Tasks() []*Task {
-	out := make([]*Task, 0, len(m.tasks))
-	for _, t := range m.tasks {
-		out = append(out, t)
-	}
+	out := make([]*Task, len(m.ordered))
+	copy(out, m.ordered)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

@@ -362,6 +362,37 @@ func TestManyTasksManyMachinesConservation(t *testing.T) {
 	}
 }
 
+// TestPendingDoesNotGrowWithRescheduleStorms pins the native-cancellation
+// contract: superseded completion events are deleted from the kernel queue,
+// so a storm of rate changes leaves exactly one live completion event per
+// busy machine instead of an unbounded trail of dead closures.
+func TestPendingDoesNotGrowWithRescheduleStorms(t *testing.T) {
+	c, m := newSingle(t, 1)
+	for i := 0; i < 8; i++ {
+		if err := m.AddTask(&Task{ID: string(rune('a' + i)), Work: 1e9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Sim.Pending(); got != 1 {
+		t.Fatalf("pending = %d with 8 resident tasks, want 1 completion event", got)
+	}
+	for i := 0; i < 1000; i++ {
+		m.SetLocalLoad(float64(i%7) / 10)
+	}
+	if got := c.Sim.Pending(); got != 1 {
+		t.Fatalf("pending = %d after 1000 reschedules, want 1", got)
+	}
+	// Killing every task cancels the last completion event too.
+	for _, tk := range m.Tasks() {
+		if _, err := m.Kill(tk.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Sim.Pending(); got != 0 {
+		t.Fatalf("pending = %d after emptying the machine, want 0", got)
+	}
+}
+
 func TestLoadTraceUnknownMachine(t *testing.T) {
 	c := NewCluster()
 	if err := c.PlayLoadTrace("ghost", nil); err == nil {

@@ -1,7 +1,6 @@
 package vtime
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -10,6 +9,13 @@ import (
 // callbacks scheduled at virtual instants; Run drains the queue in
 // (time, sequence) order, so simulations are fully deterministic.
 //
+// The queue is a 4-ary min-heap of value-typed events — no interface boxing
+// and no per-event heap allocation on the scheduling path — with an
+// index-tracking slot arena so any pending event can be cancelled and
+// removed in O(log n). Cancellation physically deletes the event: Pending
+// never counts dead work, and superseded events cost nothing when their
+// original deadline passes.
+//
 // Sim is not safe for concurrent use: all events must be scheduled either
 // before Run or from within event callbacks, which is the natural shape of a
 // discrete-event simulation. The cluster simulator (internal/sim) is built on
@@ -17,7 +23,9 @@ import (
 type Sim struct {
 	now    time.Duration
 	seq    int64
-	queue  eventHeap
+	heap   []event
+	slots  []slot
+	free   []int32
 	nfired int64
 	halted bool
 }
@@ -25,30 +33,30 @@ type Sim struct {
 // NewSim returns a simulation kernel positioned at virtual time zero.
 func NewSim() *Sim { return &Sim{} }
 
+// event is one queued callback. Events are stored by value in the heap
+// slice; slot points back into the arena entry that tracks the event's
+// current heap index across sift moves.
 type event struct {
-	at  time.Duration
-	seq int64
-	fn  func()
+	at   time.Duration
+	seq  int64
+	slot int32
+	fn   func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// slot is one arena entry: the tracked heap index of a live event plus a
+// generation counter that invalidates handles when the slot is recycled.
+type slot struct {
+	idx int32
+	gen uint32
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// Event is a cancellable handle to a scheduled callback, returned by At and
+// After. The zero Event is invalid: cancelling it is a no-op. Handles stay
+// safely inert after their event fires or is cancelled (the slot generation
+// moves on), so callers may keep and re-cancel them freely.
+type Event struct {
+	slot int32
+	gen  uint32
 }
 
 // Now returns the current virtual time.
@@ -57,25 +65,150 @@ func (s *Sim) Now() time.Duration { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Sim) Fired() int64 { return s.nfired }
 
-// Pending returns the number of events still queued.
-func (s *Sim) Pending() int { return len(s.queue) }
+// Pending returns the number of events still queued. Cancelled events are
+// removed immediately and never counted.
+func (s *Sim) Pending() int { return len(s.heap) }
 
-// At schedules fn at absolute virtual time t. Scheduling in the past panics:
-// that is always a simulation bug, not a recoverable condition.
-func (s *Sim) At(t time.Duration, fn func()) {
+// At schedules fn at absolute virtual time t and returns a handle that
+// cancels it. Scheduling in the past panics: that is always a simulation
+// bug, not a recoverable condition.
+func (s *Sim) At(t time.Duration, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("vtime: event scheduled at %v before now %v", t, s.now))
 	}
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	var sl int32
+	if n := len(s.free); n > 0 {
+		sl = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		// Generations start at 1 so the zero Event handle never matches.
+		s.slots = append(s.slots, slot{gen: 1})
+		sl = int32(len(s.slots) - 1)
+	}
+	i := len(s.heap)
+	s.heap = append(s.heap, event{at: t, seq: s.seq, slot: sl, fn: fn})
 	s.seq++
+	s.slots[sl].idx = int32(i)
+	s.siftUp(i)
+	return Event{slot: sl, gen: s.slots[sl].gen}
 }
 
 // After schedules fn d after the current virtual time.
-func (s *Sim) After(d time.Duration, fn func()) {
+func (s *Sim) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
-	s.At(s.now+d, fn)
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event from the queue. It reports whether the
+// call prevented the callback from firing: false when the event already
+// fired, was already cancelled, or the handle is zero.
+func (s *Sim) Cancel(e Event) bool {
+	if e.slot < 0 || int(e.slot) >= len(s.slots) {
+		return false
+	}
+	sl := s.slots[e.slot]
+	if sl.gen != e.gen || sl.idx < 0 {
+		return false
+	}
+	s.removeAt(int(sl.idx))
+	s.freeSlot(e.slot)
+	return true
+}
+
+// freeSlot retires an arena entry, bumping its generation so outstanding
+// handles to the old incarnation go inert.
+func (s *Sim) freeSlot(sl int32) {
+	s.slots[sl].gen++
+	s.slots[sl].idx = -1
+	s.free = append(s.free, sl)
+}
+
+// removeAt deletes the event at heap index i, restoring heap order.
+func (s *Sim) removeAt(i int) {
+	last := len(s.heap) - 1
+	if i != last {
+		s.heap[i] = s.heap[last]
+		s.slots[s.heap[i].slot].idx = int32(i)
+	}
+	s.heap[last] = event{} // release the callback reference
+	s.heap = s.heap[:last]
+	if i != last {
+		s.siftDown(i)
+		s.siftUp(i)
+	}
+}
+
+// popMin removes and returns the earliest event. Caller guarantees a
+// non-empty queue.
+func (s *Sim) popMin() (time.Duration, func()) {
+	e := s.heap[0]
+	s.freeSlot(e.slot)
+	last := len(s.heap) - 1
+	if last > 0 {
+		s.heap[0] = s.heap[last]
+		s.slots[s.heap[0].slot].idx = 0
+	}
+	s.heap[last] = event{}
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+	return e.at, e.fn
+}
+
+func lessEv(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp and siftDown move a hole instead of swapping: one event copy and
+// one index update per level rather than three and two.
+func (s *Sim) siftUp(i int) {
+	e := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !lessEv(&e, &s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.slots[s.heap[i].slot].idx = int32(i)
+		i = p
+	}
+	s.heap[i] = e
+	s.slots[e.slot].idx = int32(i)
+}
+
+func (s *Sim) siftDown(i int) {
+	n := len(s.heap)
+	e := s.heap[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if lessEv(&s.heap[c], &s.heap[min]) {
+				min = c
+			}
+		}
+		if !lessEv(&s.heap[min], &e) {
+			break
+		}
+		s.heap[i] = s.heap[min]
+		s.slots[s.heap[i].slot].idx = int32(i)
+		i = min
+	}
+	s.heap[i] = e
+	s.slots[e.slot].idx = int32(i)
 }
 
 // Halt stops Run after the currently executing event returns.
@@ -92,18 +225,17 @@ func (s *Sim) Run() time.Duration {
 // ran, or advanced to limit if the queue drained earlier.
 func (s *Sim) RunUntil(limit time.Duration) time.Duration {
 	s.halted = false
-	for len(s.queue) > 0 && !s.halted {
-		next := s.queue[0]
-		if next.at > limit {
+	for len(s.heap) > 0 && !s.halted {
+		if s.heap[0].at > limit {
 			s.now = limit
 			return s.now
 		}
-		heap.Pop(&s.queue)
-		s.now = next.at
+		at, fn := s.popMin()
+		s.now = at
 		s.nfired++
-		next.fn()
+		fn()
 	}
-	if s.now < limit && len(s.queue) == 0 && !s.halted {
+	if s.now < limit && len(s.heap) == 0 && !s.halted {
 		// Queue drained: the caller asked for time to pass regardless.
 		if limit < 1<<62-1 {
 			s.now = limit
@@ -114,26 +246,25 @@ func (s *Sim) RunUntil(limit time.Duration) time.Duration {
 
 // Step executes exactly one event if any is queued and reports whether it did.
 func (s *Sim) Step() bool {
-	if len(s.queue) == 0 {
+	if len(s.heap) == 0 {
 		return false
 	}
-	next := heap.Pop(&s.queue).(*event)
-	s.now = next.at
+	at, fn := s.popMin()
+	s.now = at
 	s.nfired++
-	next.fn()
+	fn()
 	return true
 }
 
-// simTimer adapts a scheduled event to the Timer interface.
-type simTimer struct{ cancelled *bool }
-
-func (t simTimer) Stop() bool {
-	if *t.cancelled {
-		return false
-	}
-	*t.cancelled = true
-	return true
+// simTimer adapts a scheduled event to the Timer interface. Stop cancels the
+// event natively: the queue entry is deleted, not left behind as a dead
+// closure.
+type simTimer struct {
+	sim *Sim
+	ev  Event
 }
+
+func (t simTimer) Stop() bool { return t.sim.Cancel(t.ev) }
 
 // simClock adapts Sim to the Clock interface so policy code written against
 // Clock runs unchanged inside the simulator. Virtual time zero maps to epoch.
@@ -150,12 +281,5 @@ func (s *Sim) Clock() Clock {
 func (c simClock) Now() time.Time                  { return c.epoch.Add(c.sim.now) }
 func (c simClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
 func (c simClock) AfterFunc(d time.Duration, f func()) Timer {
-	cancelled := new(bool)
-	c.sim.After(d, func() {
-		if !*cancelled {
-			*cancelled = true
-			f()
-		}
-	})
-	return simTimer{cancelled: cancelled}
+	return simTimer{sim: c.sim, ev: c.sim.After(d, f)}
 }

@@ -117,8 +117,16 @@ func TestSimClockAfterFuncAndStop(t *testing.T) {
 	fired := false
 	c.AfterFunc(time.Second, func() { fired = true })
 	tm := c.AfterFunc(2*time.Second, func() { t.Fatal("stopped timer fired") })
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
 	if !tm.Stop() {
 		t.Fatal("Stop on pending timer returned false")
+	}
+	// Stop removes the event outright: the queue shrinks and the stopped
+	// deadline no longer drags the quiesce time forward.
+	if s.Pending() != 1 {
+		t.Fatalf("pending after Stop = %d, want 1", s.Pending())
 	}
 	if tm.Stop() {
 		t.Fatal("second Stop returned true")
@@ -127,8 +135,193 @@ func TestSimClockAfterFuncAndStop(t *testing.T) {
 	if !fired {
 		t.Fatal("live timer did not fire")
 	}
-	if got := c.Since(time.Unix(0, 0).UTC()); got != 2*time.Second {
-		t.Fatalf("Since epoch = %v, want 2s", got)
+	if got := c.Since(time.Unix(0, 0).UTC()); got != time.Second {
+		t.Fatalf("Since epoch = %v, want 1s (stopped timer deleted)", got)
+	}
+}
+
+func TestSimCancelRemovesEvent(t *testing.T) {
+	s := NewSim()
+	var fired []string
+	ev := s.At(2*time.Second, func() { fired = append(fired, "cancelled") })
+	s.At(time.Second, func() { fired = append(fired, "a") })
+	s.At(3*time.Second, func() { fired = append(fired, "b") })
+	if !s.Cancel(ev) {
+		t.Fatal("Cancel on pending event returned false")
+	}
+	if s.Cancel(ev) {
+		t.Fatal("double Cancel returned true")
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestSimCancelZeroHandleAndFiredEvent(t *testing.T) {
+	s := NewSim()
+	var zero Event
+	if s.Cancel(zero) {
+		t.Fatal("zero handle cancelled something")
+	}
+	ev := s.At(time.Second, func() {})
+	s.Run()
+	if s.Cancel(ev) {
+		t.Fatal("Cancel after firing returned true")
+	}
+}
+
+// TestSimCancelSlotReuse pins the generation check: a handle to a fired
+// event must stay inert even after its arena slot is recycled by newer
+// events.
+func TestSimCancelSlotReuse(t *testing.T) {
+	s := NewSim()
+	stale := s.At(time.Second, func() {})
+	s.Run()
+	fired := false
+	s.At(2*time.Second, func() { fired = true }) // recycles the freed slot
+	if s.Cancel(stale) {
+		t.Fatal("stale handle cancelled a recycled slot")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("new event in recycled slot did not fire")
+	}
+}
+
+// TestSimCancelStormKeepsOrder stresses interleaved schedule/cancel churn
+// and checks the survivors still fire in exact (time, seq) order.
+func TestSimCancelStormKeepsOrder(t *testing.T) {
+	s := NewSim()
+	var fired []int
+	var handles []Event
+	for i := 0; i < 500; i++ {
+		i := i
+		at := time.Duration((i*37)%251) * time.Millisecond
+		handles = append(handles, s.At(at, func() { fired = append(fired, i) }))
+	}
+	cancelled := map[int]bool{}
+	for i := 0; i < 500; i += 3 {
+		if !s.Cancel(handles[i]) {
+			t.Fatalf("cancel %d failed", i)
+		}
+		cancelled[i] = true
+	}
+	if got := s.Pending(); got != 500-len(cancelled) {
+		t.Fatalf("pending = %d, want %d", got, 500-len(cancelled))
+	}
+	s.Run()
+	if len(fired) != 500-len(cancelled) {
+		t.Fatalf("fired %d events, want %d", len(fired), 500-len(cancelled))
+	}
+	// Survivors must fire in (time, seq) order: timestamps non-decreasing,
+	// and within one timestamp the insertion index ascending.
+	for k := 1; k < len(fired); k++ {
+		prev, cur := fired[k-1], fired[k]
+		pt, ct := (prev*37)%251, (cur*37)%251
+		if pt > ct || (pt == ct && prev > cur) {
+			t.Fatalf("order violated at %d: %d before %d", k, prev, cur)
+		}
+	}
+	for i := range cancelled {
+		for _, f := range fired {
+			if f == i {
+				t.Fatalf("cancelled event %d fired", i)
+			}
+		}
+	}
+}
+
+// TestSimRunUntilLimitBoundary pins the clock contract exactly at the
+// limit: an event at the limit fires, one a nanosecond past it stays
+// queued, and the clock rests at the limit in both cases.
+func TestSimRunUntilLimitBoundary(t *testing.T) {
+	s := NewSim()
+	var fired []time.Duration
+	s.At(5*time.Second, func() { fired = append(fired, s.Now()) })
+	s.At(5*time.Second+time.Nanosecond, func() { fired = append(fired, s.Now()) })
+	s.RunUntil(5 * time.Second)
+	if len(fired) != 1 || fired[0] != 5*time.Second {
+		t.Fatalf("fired = %v, want exactly the event at the limit", fired)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("now = %v, want 5s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 2 || fired[1] != 5*time.Second+time.Nanosecond {
+		t.Fatalf("fired = %v after drain", fired)
+	}
+}
+
+// TestSimHaltMidDrain halts from deep inside a drain and checks the clock
+// freezes at the halting event while the rest of the queue survives intact.
+func TestSimHaltMidDrain(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		i := i
+		s.At(time.Duration(i)*time.Second, func() {
+			fired++
+			if i == 4 {
+				s.Halt()
+			}
+		})
+	}
+	at := s.Run()
+	if fired != 4 || at != 4*time.Second {
+		t.Fatalf("halted after %d events at %v, want 4 events at 4s", fired, at)
+	}
+	if s.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", s.Pending())
+	}
+	at = s.Run()
+	if fired != 10 || at != 10*time.Second {
+		t.Fatalf("resumed to %d events at %v", fired, at)
+	}
+}
+
+// TestSimScheduleAndCancelInsideCallback exercises the reschedule shape the
+// cluster simulator relies on: a callback cancelling a pending event and
+// scheduling its replacement, repeatedly.
+func TestSimScheduleAndCancelInsideCallback(t *testing.T) {
+	s := NewSim()
+	var pending Event
+	fired := 0
+	hops := 0
+	var hop func()
+	hop = func() {
+		hops++
+		if s.Cancel(pending) {
+			t.Fatal("superseded event was still pending at fire time")
+		}
+		if hops < 5 {
+			// Schedule a decoy far out, then supersede it with the real
+			// next hop: the decoy must vanish from the queue.
+			pending = s.After(time.Hour, func() { t.Fatal("superseded decoy fired") })
+			if !s.Cancel(pending) {
+				t.Fatal("cancel of fresh decoy failed")
+			}
+			pending = s.After(time.Second, hop)
+		} else {
+			fired++
+		}
+	}
+	pending = s.After(time.Second, hop)
+	end := s.Run()
+	if hops != 5 || fired != 1 {
+		t.Fatalf("hops = %d fired = %d", hops, fired)
+	}
+	if end != 5*time.Second {
+		t.Fatalf("quiesced at %v, want 5s", end)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after quiesce, want 0", s.Pending())
 	}
 }
 

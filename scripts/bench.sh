@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulator hot-path benchmark suite and write the
+# results as BENCH_sim.json, the tracked performance trajectory of the
+# discrete-event kernel, the cluster simulator and the scenario engine.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default: the go default, 1s)
+#   COUNT       go test -count value (default 1)
+#
+# The JSON shape is one object per benchmark row:
+#   {"name": ..., "ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...,
+#    "events_per_sec": ...}   (events_per_sec only where the bench reports it)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_sim.json}"
+benchtime="${BENCHTIME:-}"
+count="${COUNT:-1}"
+
+args=(-run '^$' -benchmem -count "$count")
+if [[ -n "$benchtime" ]]; then
+  args+=(-benchtime "$benchtime")
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test "${args[@]}" -bench 'BenchmarkKernel' ./internal/vtime/ | tee -a "$tmp"
+go test "${args[@]}" -bench 'BenchmarkClusterHour|BenchmarkLoadSteps|BenchmarkSimHotPath' ./internal/sim/ | tee -a "$tmp"
+go test "${args[@]}" -bench 'BenchmarkScenarioEngine' . | tee -a "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""; eps = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "events/sec") eps = $i
+    }
+    if (ns == "") next
+    row = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+    if (bytes != "")  row = row sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") row = row sprintf(", \"allocs_per_op\": %s", allocs)
+    if (eps != "")    row = row sprintf(", \"events_per_sec\": %s", eps)
+    row = row "}"
+    rows[n++] = row
+}
+END {
+    printf "{\n  \"generated\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", date, gover
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
