@@ -15,6 +15,20 @@
 // The (instance × run) grid fans out across -workers goroutines (default:
 // one per CPU). Runs are deterministic: the same spec and -seed reproduce
 // byte-identical artifacts at any worker count.
+//
+// Sweeps shard across processes and cache across runs:
+//
+//	vcebench -name hetero-baseline -shard 0/2 -out /tmp/s0   # half the grid
+//	vcebench -name hetero-baseline -shard 1/2 -out /tmp/s1   # the other half
+//	vcebench merge -out /tmp/merged /tmp/s0 /tmp/s1          # == single run
+//	vcebench -name hetero-baseline -cache-dir ~/.cache/vce   # warm re-runs simulate nothing
+//
+// -shard i/N runs only the grid positions of shard i; `vcebench merge`
+// recombines shard output directories (their report.json artifacts) into
+// the byte-identical single-process report. -cache-dir points sweeps at a
+// content-addressed result store keyed by (engine version, spec, policy
+// cell, run); shards and repeat runs sharing the directory never simulate
+// the same cell twice.
 package main
 
 import (
@@ -23,13 +37,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"vce/internal/scenario"
+	"vce/internal/scenario/store"
 )
 
-func main() { os.Exit(run()) }
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		os.Exit(runMerge(os.Args[2:]))
+	}
+	os.Exit(run())
+}
 
 // run is main's body with a normal return path, so the profiling defers
 // fire even when the sweep ends in an error exit code.
@@ -48,8 +71,21 @@ func run() int {
 		keepOn   = flag.Bool("keep-going", false, "collect per-run errors instead of failing fast; report what succeeded")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write an allocation profile after the sweep to this file")
+		shardArg = flag.String("shard", "", "run only shard i of N grid slices, as \"i/N\" (0-based); combine outputs with `vcebench merge`")
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory; hits skip simulation entirely")
 	)
 	flag.Parse()
+
+	shard, err := parseShard(*shardArg)
+	if err != nil {
+		return fail(err)
+	}
+	var cache *store.FS
+	if *cacheDir != "" {
+		if cache, err = store.Open(*cacheDir); err != nil {
+			return fail(err)
+		}
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -121,11 +157,24 @@ func run() int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var cacheStore scenario.Store
+	if cache != nil {
+		cacheStore = cache
+	}
 	rep, err := scenario.RunContext(ctx, sp, scenario.Options{
 		Workers:         *workers,
 		ContinueOnError: *keepOn,
 		Progress:        progress,
+		Shard:           shard,
+		Cache:           cacheStore,
 	})
+	if cache != nil {
+		// The stats line is machine-checked by scripts/sweep_shards.sh: a
+		// warm repeat must show "misses: 0" — zero simulations performed.
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "vcebench: cache %s: hits: %d, misses: %d, corrupt: %d\n",
+			cache.Dir(), st.Hits, st.Misses, st.Corrupt)
+	}
 	if err != nil {
 		if rep == nil {
 			return fail(err)
@@ -160,6 +209,67 @@ func loadSpec(specPath, name string) (*scenario.Spec, error) {
 	default:
 		return nil, fmt.Errorf("vcebench: need -spec <file> or -name <builtin> (try -list)")
 	}
+}
+
+// parseShard parses the -shard flag's "i/N" form (empty means unsharded);
+// scenario.Options validates the coordinates themselves.
+func parseShard(s string) (scenario.Shard, error) {
+	if s == "" {
+		return scenario.Shard{}, nil
+	}
+	idxStr, countStr, ok := strings.Cut(s, "/")
+	idx, err1 := strconv.Atoi(idxStr)
+	count, err2 := strconv.Atoi(countStr)
+	if !ok || err1 != nil || err2 != nil || count < 1 || idx < 0 || idx >= count {
+		return scenario.Shard{}, fmt.Errorf("vcebench: -shard %q: want \"i/N\" with 0 <= i < N, e.g. -shard 0/2", s)
+	}
+	return scenario.Shard{Index: idx, Count: count}, nil
+}
+
+// runMerge is the `vcebench merge` subcommand: it loads the report.json
+// artifact from each shard output directory (or file path), merges them
+// into the single-process report and writes/prints it like a normal sweep.
+func runMerge(args []string) int {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	out := fs.String("out", "", "output directory for the merged artifacts (omit to print the table only)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vcebench merge [-out dir] <shard-dir>...\n\nMerges the report.json artifacts of sharded sweep runs into the\nbyte-identical single-process report.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	reports := make([]*scenario.Report, 0, fs.NArg())
+	for _, arg := range fs.Args() {
+		path := arg
+		if st, err := os.Stat(path); err == nil && st.IsDir() {
+			path = filepath.Join(path, scenario.ReportFile)
+		}
+		rep, err := scenario.LoadReport(path)
+		if err != nil {
+			return fail(err)
+		}
+		reports = append(reports, rep)
+	}
+	merged, err := scenario.MergeReports(reports...)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Println(merged.ComparisonTable().String())
+	if *out != "" {
+		written, err := merged.WriteArtifacts(*out)
+		if err != nil {
+			return fail(err)
+		}
+		for _, p := range written {
+			fmt.Printf("wrote %s\n", p)
+		}
+	}
+	return 0
 }
 
 func fail(err error) int {

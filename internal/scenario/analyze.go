@@ -161,6 +161,8 @@ func (r *Report) Markdown() string {
 //	indexes.json — same aggregate as JSON
 //	runs.csv     — raw per-run indexes
 //	spec.json    — the executed spec (defaults applied), for reproduction
+//	report.json  — the full serialized Report; what LoadReport reads and
+//	               `vcebench merge` combines across shard directories
 func (r *Report) WriteArtifacts(dir string) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
@@ -201,6 +203,11 @@ func (r *Report) WriteArtifacts(dir string) ([]string, error) {
 			enc := json.NewEncoder(f)
 			enc.SetIndent("", "  ")
 			return enc.Encode(r.Spec)
+		}},
+		{ReportFile, func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(r)
 		}},
 	}
 	for _, s := range steps {

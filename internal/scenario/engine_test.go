@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -163,7 +164,7 @@ func TestWriteArtifacts(t *testing.T) {
 	if err != nil {
 		t.Fatalf("WriteArtifacts: %v", err)
 	}
-	want := []string{"report.txt", "report.md", "indexes.csv", "indexes.json", "runs.csv", "spec.json"}
+	want := []string{"report.txt", "report.md", "indexes.csv", "indexes.json", "runs.csv", "spec.json", "report.json"}
 	if len(written) != len(want) {
 		t.Fatalf("wrote %d artifacts, want %d: %v", len(written), len(want), written)
 	}
@@ -198,5 +199,15 @@ func TestWriteArtifacts(t *testing.T) {
 	}
 	if _, err := Parse(data); err != nil {
 		t.Errorf("spec.json artifact does not re-parse: %v", err)
+	}
+	// report.json must round-trip through LoadReport into the same report.
+	loaded, err := LoadReport(filepath.Join(dir, ReportFile))
+	if err != nil {
+		t.Fatalf("report.json artifact does not load: %v", err)
+	}
+	origJSON, _ := json.Marshal(rep)
+	loadedJSON, _ := json.Marshal(loaded)
+	if string(origJSON) != string(loadedJSON) {
+		t.Error("report.json artifact does not round-trip byte-identically")
 	}
 }

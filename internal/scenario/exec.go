@@ -14,6 +14,37 @@ import (
 // invocation order is completion order, not cell/run order.
 type Progress func(inst Instance, run int, idx Indexes)
 
+// Shard selects one slice of the (instance × run) grid for a multi-process
+// sweep: shard i of N executes the grid positions whose flattened job index
+// is congruent to i mod N. The round-robin split keeps shards balanced
+// whatever the grid shape, every position lands in exactly one shard, and
+// the assignment depends only on (spec, N), so independent processes — CI
+// jobs, machines — agree on the partition without coordinating. Each shard
+// produces a partial Report (survivor runs tagged with their true run
+// numbers); MergeReports recombines them into the byte-identical
+// single-process report.
+type Shard struct {
+	// Index is this shard's position in [0, Count).
+	Index int
+	// Count is the total number of shards. Zero means unsharded (the
+	// whole grid); one is equivalent.
+	Count int
+}
+
+// validate checks the shard coordinates.
+func (s Shard) validate() error {
+	if s.Count == 0 && s.Index == 0 {
+		return nil
+	}
+	if s.Count < 1 {
+		return fmt.Errorf("scenario: shard count %d < 1", s.Count)
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("scenario: shard index %d outside [0, %d)", s.Index, s.Count)
+	}
+	return nil
+}
+
 // Options configure a sweep execution.
 type Options struct {
 	// Workers is how many (instance, run) cells execute concurrently.
@@ -30,8 +61,20 @@ type Options struct {
 	// ran, since cancellation may stop earlier grid positions from ever
 	// starting.
 	ContinueOnError bool
-	// Progress observes completed runs; may be nil. See Progress.
+	// Progress observes completed runs; may be nil. See Progress. Cached
+	// results report progress too — a warm sweep replays the same
+	// callback sequence a cold one produces.
 	Progress Progress
+	// Shard restricts execution to one slice of the grid. The zero value
+	// runs everything.
+	Shard Shard
+	// Cache, when non-nil, is consulted per grid cell before simulating
+	// (a hit replays the stored Indexes) and written through after a
+	// successful simulation. Keyed by CellKey, so a cache survives across
+	// processes, shards and machines; soundness rests on the determinism
+	// contract and the EngineVersion stamp. Cache errors degrade to
+	// recomputation — they never fail the sweep.
+	Cache Store
 }
 
 // job and outcome are the executor's fan-out and fan-in records; cell and
@@ -62,16 +105,40 @@ func Run(spec *Spec, progress Progress) (*Report, error) {
 // of worker count. Cancelling ctx halts in-flight simulations promptly;
 // RunContext then returns ctx's error (joined with the partial report when
 // ContinueOnError is set).
+//
+// Options.Shard restricts execution to one deterministic slice of the grid
+// (see Shard; MergeReports recombines shard reports), and Options.Cache
+// short-circuits cells whose result is already stored under their CellKey,
+// which makes re-runs and interrupted sweeps resumable with zero duplicate
+// simulation.
 func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) {
 	sp := spec.withDefaults()
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Shard.validate(); err != nil {
+		return nil, err
+	}
 	insts := sp.Instances()
 	jobs := make([]job, 0, len(insts)*sp.Runs)
+	pos := 0
 	for cell := range insts {
 		for run := 0; run < sp.Runs; run++ {
+			if opts.Shard.Count > 1 && pos%opts.Shard.Count != opts.Shard.Index {
+				pos++
+				continue
+			}
+			pos++
 			jobs = append(jobs, job{cell: cell, run: run})
+		}
+	}
+	// The canonical world serialization is shared by every cell key; hash
+	// it once per sweep instead of once per job.
+	var world []byte
+	if opts.Cache != nil {
+		var err error
+		if world, err = sp.canonicalWorldJSON(); err != nil {
+			return nil, err
 		}
 	}
 	workers := opts.Workers
@@ -99,7 +166,24 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 			// even after cancellation — dropping outcomes here would make
 			// the surfaced error depend on goroutine scheduling.
 			for j := range jobCh {
+				var key string
+				if opts.Cache != nil {
+					key = cellKey(world, insts[j.cell].Sched, insts[j.cell].Migration, j.run)
+					// A cache error (I/O failure, corrupt entry already
+					// evicted by the store) is just a miss: the cache may
+					// never make a sweep fail that would have succeeded
+					// without it.
+					if idx, ok, err := opts.Cache.Get(key); err == nil && ok {
+						outCh <- outcome{cell: j.cell, run: j.run, idx: idx}
+						continue
+					}
+				}
 				idx, err := RunInstanceContext(ctx, insts[j.cell], j.run)
+				if err == nil && opts.Cache != nil {
+					// Best-effort write-through: a read-only or full cache
+					// directory costs reuse, not correctness.
+					_ = opts.Cache.Put(key, idx)
+				}
 				outCh <- outcome{cell: j.cell, run: j.run, idx: idx, err: err}
 			}
 		}()

@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ReportFile is the name of the serialized-report artifact WriteArtifacts
+// emits alongside the rendered tables; it is the artifact MergeReports and
+// `vcebench merge` consume.
+const ReportFile = "report.json"
+
+// LoadReport reads a serialized Report (a report.json artifact) from path.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("scenario: parsing report %s: %w", path, err)
+	}
+	if rep.Spec == nil {
+		return nil, fmt.Errorf("scenario: report %s has no spec", path)
+	}
+	if err := rep.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: report %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// MergeReports deterministically combines shard reports of one sweep into
+// the report a single-process run of the full grid would have produced —
+// byte-identically, because cells reassemble in run-number order and a
+// completed cell drops its RunNumbers overlay exactly as the executor
+// does. Inputs must share an identical spec (defaults applied) and cell
+// structure, and no (cell, run) position may appear in more than one
+// input: overlap means the shards were produced with inconsistent
+// partitions, and picking a winner silently would mask that. Merging
+// partial reports (interrupted or ContinueOnError shards) is fine — the
+// result is simply partial where no shard contributed a run.
+func MergeReports(reports ...*Report) (*Report, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("scenario: merge: no reports")
+	}
+	ref := reports[0]
+	refSpec, err := json.Marshal(ref.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: merge: %w", err)
+	}
+	for i, rep := range reports[1:] {
+		spec, err := json.Marshal(rep.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: merge: %w", err)
+		}
+		if !bytes.Equal(refSpec, spec) {
+			return nil, fmt.Errorf("scenario: merge: report %d ran spec %q which differs from report 0's %q — shards of one sweep must share the exact spec",
+				i+1, rep.Spec.Name, ref.Spec.Name)
+		}
+		if len(rep.Cells) != len(ref.Cells) {
+			return nil, fmt.Errorf("scenario: merge: report %d has %d cells, report 0 has %d", i+1, len(rep.Cells), len(ref.Cells))
+		}
+		for c := range rep.Cells {
+			if rep.Cells[c].Sched != ref.Cells[c].Sched || rep.Cells[c].Migration != ref.Cells[c].Migration {
+				return nil, fmt.Errorf("scenario: merge: report %d cell %d is %s/%s, report 0 has %s/%s",
+					i+1, c, rep.Cells[c].Sched, rep.Cells[c].Migration, ref.Cells[c].Sched, ref.Cells[c].Migration)
+			}
+		}
+	}
+
+	out := &Report{Spec: ref.Spec}
+	for c := range ref.Cells {
+		merged := Cell{Sched: ref.Cells[c].Sched, Migration: ref.Cells[c].Migration}
+		byRun := make(map[int]Indexes)
+		for _, rep := range reports {
+			cell := rep.Cells[c]
+			for i, idx := range cell.Runs {
+				run := cell.runNumber(i)
+				if _, dup := byRun[run]; dup {
+					return nil, fmt.Errorf("scenario: merge: run %d of cell %s/%s appears in more than one report — overlapping shards",
+						run, merged.Sched, merged.Migration)
+				}
+				byRun[run] = idx
+			}
+		}
+		runs := make([]int, 0, len(byRun))
+		for run := range byRun {
+			runs = append(runs, run)
+		}
+		sort.Ints(runs)
+		for _, run := range runs {
+			merged.Runs = append(merged.Runs, byRun[run])
+		}
+		// Same convention as the executor: a complete cell stays in the
+		// position-is-run-number format; only gaps need the overlay.
+		complete := len(runs) == ref.Spec.Runs
+		for i, run := range runs {
+			if run != i {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			merged.RunNumbers = runs
+		}
+		out.Cells = append(out.Cells, merged)
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package store_test
+
+import (
+	"context"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vce/internal/scenario"
+	"vce/internal/scenario/store"
+)
+
+// sweepSpec is a small grid (2 cells × 2 runs) that still exercises owner
+// churn and both policy axes.
+func sweepSpec() *scenario.Spec {
+	return &scenario.Spec{
+		Name:     "store-integration",
+		HorizonS: 600,
+		Machines: scenario.MachineSetSpec{
+			BandwidthMiBps: 4,
+			Classes: []scenario.MachineClassSpec{
+				{Class: "workstation", Count: 3, Speed: scenario.Dist{Kind: "uniform", Min: 1, Max: 2}},
+			},
+		},
+		Workload: scenario.WorkloadSpec{
+			Tasks: 8,
+			Work:  scenario.Dist{Kind: "uniform", Min: 30, Max: 60},
+		},
+		Owner: &scenario.OwnerSpec{MeanIdleS: 120, MeanBusyS: 60},
+		Policies: scenario.PolicyMatrix{
+			Scheduling: []string{"greedy-best-fit"},
+			Migration:  []string{"suspend", "address-space"},
+		},
+		Runs: 2,
+		Seed: 42,
+	}
+}
+
+func runWith(t *testing.T, cache scenario.Store) *scenario.Report {
+	t.Helper()
+	rep, err := scenario.RunContext(context.Background(), sweepSpec(), scenario.Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestSweepWarmFSCache drives the real executor against the filesystem
+// store: the cold sweep misses and fills every cell, the warm sweep hits
+// every cell with zero misses (zero simulations) and reproduces the
+// report byte-identically.
+func TestSweepWarmFSCache(t *testing.T) {
+	cache, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := uint64(4) // 2 cells × 2 runs
+
+	cold := runWith(t, cache)
+	if st := cache.Stats(); st.Misses != jobs || st.Hits != 0 {
+		t.Fatalf("cold sweep stats = %+v, want %d misses and no hits", st, jobs)
+	}
+	if n, err := cache.Len(); err != nil || uint64(n) != jobs {
+		t.Fatalf("cache holds %d entries (%v), want %d", n, err, jobs)
+	}
+
+	warm := runWith(t, cache)
+	if st := cache.Stats(); st.Hits != jobs || st.Misses != jobs {
+		t.Fatalf("warm sweep stats = %+v, want %d hits and no new misses", st, jobs)
+	}
+	a, _ := json.Marshal(cold)
+	b, _ := json.Marshal(warm)
+	if string(a) != string(b) {
+		t.Fatal("warm FS-cached report differs from the cold run")
+	}
+}
+
+// TestSweepRecoversFromCorruptEntry corrupts one on-disk entry between
+// sweeps: the damaged cell (and only it) is recomputed, the entry is
+// rewritten, and the report is unchanged.
+func TestSweepRecoversFromCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := runWith(t, cache)
+
+	var victim string
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && victim == "" {
+			victim = path
+		}
+		return err
+	})
+	if err != nil || victim == "" {
+		t.Fatalf("no cache entry to corrupt (err=%v)", err)
+	}
+	if err := os.WriteFile(victim, []byte("{torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cache2, err := store.Open(dir) // fresh counters over the same directory
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired := runWith(t, cache2)
+	st := cache2.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 || st.Hits != 3 {
+		t.Fatalf("repair sweep stats = %+v, want 3 hits and exactly the corrupted cell missed", st)
+	}
+	a, _ := json.Marshal(cold)
+	b, _ := json.Marshal(repaired)
+	if string(a) != string(b) {
+		t.Fatal("report drifted after corrupt-entry recovery")
+	}
+
+	// The recomputed result was written back: a third sweep is all hits.
+	cache3, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith(t, cache3)
+	if st := cache3.Stats(); st.Misses != 0 || st.Hits != 4 {
+		t.Fatalf("third sweep stats = %+v, want all 4 hits", st)
+	}
+}
+
+// TestShardedSweepsFillSharedFSCache models the CI topology: two shard
+// processes share one cache directory, then a merge-equivalent full run
+// reuses everything they computed.
+func TestShardedSweepsFillSharedFSCache(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		cache, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = scenario.RunContext(context.Background(), sweepSpec(), scenario.Options{
+			Workers: 2,
+			Cache:   cache,
+			Shard:   scenario.Shard{Index: i, Count: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := cache.Stats(); st.Hits != 0 || st.Misses != 2 {
+			t.Fatalf("shard %d stats = %+v, want its 2 cells missed", i, st)
+		}
+	}
+	cache, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith(t, cache)
+	if st := cache.Stats(); st.Misses != 0 || st.Hits != 4 {
+		t.Fatalf("full sweep over shard-warmed cache stats = %+v, want all 4 hits", st)
+	}
+}

@@ -1,0 +1,166 @@
+// Package store holds filesystem-backed implementations of the scenario
+// result cache (scenario.Store): content-addressed per-cell result files
+// that make repeat sweeps, interrupted sweeps and sharded CI jobs reuse
+// each other's work instead of re-simulating.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"vce/internal/scenario"
+)
+
+// Stats is a snapshot of a store's traffic counters. Misses counts every
+// Get that did not return a usable entry (absent or corrupt); Corrupt
+// counts the subset that found a file but could not decode it.
+type Stats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Corrupt uint64 `json:"corrupt"`
+}
+
+// FS is the filesystem scenario.Store: one JSON file per cell result,
+// addressed as <dir>/<key[:2]>/<key>.json (the two-character fan-out keeps
+// directories small at campus-sweep scale). Writes go through a temp file
+// and an atomic rename, so a concurrent or killed writer can never leave a
+// partially-written entry under the final name; a corrupt entry (torn by
+// an unclean shutdown, or hand-edited) is deleted on read and reported as
+// a miss, so the executor falls back to recomputing it. All methods are
+// safe for concurrent use.
+type FS struct {
+	dir                   string
+	hits, misses, corrupt atomic.Uint64
+}
+
+// Open returns an FS store rooted at dir, creating it if needed. The same
+// directory can be shared by concurrent processes: entries are
+// content-addressed and writes are atomic, so the worst interleaving is
+// duplicated work, never a wrong or torn result.
+func Open(dir string) (*FS, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &FS{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FS) Dir() string { return s.dir }
+
+// checkKey rejects keys that could escape the store directory or collide
+// with the fan-out scheme. CellKey always produces lowercase hex, so
+// anything else is a caller bug, not a cache state.
+func checkKey(key string) error {
+	if len(key) < 8 {
+		return fmt.Errorf("store: key %q too short", key)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("store: key %q is not lowercase hex", key)
+		}
+	}
+	return nil
+}
+
+func (s *FS) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get implements scenario.Store. A missing entry is (zero, false, nil); a
+// present-but-undecodable entry is deleted, counted in Stats().Corrupt and
+// reported the same way, so callers recompute instead of failing.
+func (s *FS) Get(key string) (scenario.Indexes, bool, error) {
+	if err := checkKey(key); err != nil {
+		return scenario.Indexes{}, false, err
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.misses.Add(1)
+			return scenario.Indexes{}, false, nil
+		}
+		s.misses.Add(1)
+		return scenario.Indexes{}, false, fmt.Errorf("store: %w", err)
+	}
+	var idx scenario.Indexes
+	if err := json.Unmarshal(data, &idx); err != nil {
+		// Corrupt entry: evict it so the recomputed result can land
+		// cleanly, and fall back to simulating this cell.
+		_ = os.Remove(s.path(key))
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return scenario.Indexes{}, false, nil
+	}
+	s.hits.Add(1)
+	return idx, true, nil
+}
+
+// Put implements scenario.Store: write-to-temp plus rename, so readers and
+// concurrent writers only ever observe complete entries. Last writer wins,
+// which is harmless — content addressing means every writer holds the same
+// value.
+func (s *FS) Put(key string, idx scenario.Indexes) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	data, err := json.Marshal(idx)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	final := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), "."+key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s: %w", key, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Stats snapshots the hit/miss/corrupt counters. A warm repeat of an
+// identical sweep shows Misses == 0: the executor performed zero
+// simulations.
+func (s *FS) Stats() Stats {
+	return Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Corrupt: s.corrupt.Load(),
+	}
+}
+
+// Len walks the store and counts entries — a test and tooling convenience,
+// not a hot path.
+func (s *FS) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+var _ scenario.Store = (*FS)(nil)

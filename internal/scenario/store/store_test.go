@@ -1,0 +1,189 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"vce/internal/scenario"
+)
+
+// keyFor builds a valid-looking 64-hex key from a short tag.
+func keyFor(tag string) string {
+	const hexdigits = "0123456789abcdef"
+	b := make([]byte, 64)
+	for i := range b {
+		b[i] = hexdigits[(len(tag)+i)%16]
+	}
+	copy(b, tag)
+	return strings.Map(func(r rune) rune {
+		if (r >= '0' && r <= '9') || (r >= 'a' && r <= 'f') {
+			return r
+		}
+		return 'a'
+	}, string(b))
+}
+
+func TestRoundTripExactFloats(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values chosen to be hostile to lossy serialization: shortest-roundtrip
+	// JSON floats must come back bit-identical or cached replays would
+	// drift the artifact bytes.
+	want := scenario.Indexes{
+		MakespanS:       0.1 + 0.2,
+		ThroughputPerH:  math.Pi * 1e-7,
+		MeanCompletionS: math.MaxFloat64 / 3,
+		UtilizationPct:  99.999999999999986,
+		Migrations:      1<<62 + 7,
+		Suspensions:     3,
+		Failed:          0,
+		Rejected:        12,
+		Completed:       48,
+	}
+	key := keyFor("roundtrip")
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("roundtrip drifted:\n got %+v\nwant %+v", got, want)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want exactly one hit", st)
+	}
+}
+
+func TestMissingEntryIsCleanMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := s.Get(keyFor("absent"))
+	if err != nil {
+		t.Fatalf("missing entry returned error %v, want nil", err)
+	}
+	if ok {
+		t.Fatal("missing entry reported ok")
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want one miss", st)
+	}
+}
+
+func TestCorruptEntryEvictedAndReportedAsMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyFor("corrupt")
+	if err := s.Put(key, scenario.Indexes{Completed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the entry the way a killed writer without atomic rename would.
+	if err := os.WriteFile(s.path(key), []byte(`{"completed": 5, "makes`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := s.Get(key)
+	if err != nil {
+		t.Fatalf("corrupt entry returned error %v, want miss", err)
+	}
+	if ok {
+		t.Fatal("corrupt entry decoded as a hit")
+	}
+	if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not evicted: %v", err)
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want one corrupt miss", st)
+	}
+	// Recovery path: a fresh Put over the evicted slot serves hits again.
+	if err := s.Put(key, scenario.Indexes{Completed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(key); !ok {
+		t.Fatal("re-put after eviction did not restore the entry")
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", "../../../etc/passwd", keyFor("ok")[:8] + "/absolute", strings.ToUpper(keyFor("upper"))} {
+		if err := s.Put(key, scenario.Indexes{}); err == nil {
+			t.Errorf("Put accepted invalid key %q", key)
+		}
+		if _, _, err := s.Get(key); err == nil {
+			t.Errorf("Get accepted invalid key %q", key)
+		}
+	}
+}
+
+func TestOpenCreatesNestedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b", "cache")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(keyFor("nested"), scenario.Indexes{Completed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1 entry", n, err)
+	}
+}
+
+func TestConcurrentPutGetSameDir(t *testing.T) {
+	// Two FS handles on one directory model two processes sharing a cache;
+	// the race detector (CI runs -race) checks the counters, and the
+	// content-addressing contract means every writer stores the same value.
+	dir := t.TempDir()
+	a, _ := Open(dir)
+	b, _ := Open(dir)
+	key := keyFor("shared")
+	want := scenario.Indexes{Completed: 7, MakespanS: 123.456}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		st := a
+		if i%2 == 1 {
+			st = b
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := st.Put(key, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok, err := st.Get(key); err != nil || (ok && got != want) {
+					t.Errorf("Get = %+v ok=%v err=%v", got, ok, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// No torn reads: every Get either missed (lost a race with the very
+	// first Put) or returned the exact value. Leftover temp files would
+	// mean a rename failed somewhere.
+	entries, err := filepath.Glob(filepath.Join(dir, "*", ".*tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("leaked temp files: %v", entries)
+	}
+}

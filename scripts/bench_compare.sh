@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# bench_compare.sh — diff a fresh benchmark run against the committed
+# trajectory point and annotate regressions.
+#
+# Usage:
+#   scripts/bench_compare.sh [baseline.json] [fresh.json]
+#
+# Defaults: baseline BENCH_sim.json (the committed trajectory), fresh
+# BENCH_sim.ci.json (what CI just measured). Any benchmark whose ns/op
+# regressed more than THRESHOLD_PCT (default 20) percent is reported as a
+# GitHub Actions `::warning::` annotation. The step is advisory — shared CI
+# boxes are too noisy to gate on — so the script always exits 0 unless the
+# inputs themselves are unusable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_sim.json}"
+fresh="${2:-BENCH_sim.ci.json}"
+threshold="${THRESHOLD_PCT:-20}"
+
+for f in "$baseline" "$fresh"; do
+  if [[ ! -r "$f" ]]; then
+    echo "bench_compare: missing $f" >&2
+    exit 1
+  fi
+done
+
+# Both files are produced by scripts/bench.sh: one benchmark object per
+# line, so a line-oriented extraction is reliable here.
+extract() {
+  sed -n 's/.*"name": "\([^"]*\)", "ns_per_op": \([0-9.e+]*\).*/\1 \2/p' "$1"
+}
+
+base_tbl="$(mktemp)"
+fresh_tbl="$(mktemp)"
+trap 'rm -f "$base_tbl" "$fresh_tbl"' EXIT
+extract "$baseline" | sort > "$base_tbl"
+extract "$fresh"    | sort > "$fresh_tbl"
+
+join "$base_tbl" "$fresh_tbl" | awk -v thr="$threshold" '
+{
+    name = $1; base = $2 + 0; now = $3 + 0
+    if (base <= 0) next
+    delta = 100 * (now - base) / base
+    mark = (delta > thr) ? "REGRESSED" : ((delta < -thr) ? "improved" : "ok")
+    printf "%-44s %14.1f -> %14.1f ns/op  %+7.1f%%  %s\n", name, base, now, delta, mark
+    if (delta > thr) {
+        printf "::warning title=bench regression::%s regressed %.1f%% (%.0f -> %.0f ns/op, threshold %s%%)\n",
+               name, delta, base, now, thr
+        regressions++
+    }
+}
+END {
+    if (regressions > 0)
+        printf "bench_compare: %d benchmark(s) regressed more than %s%% (advisory, not blocking)\n", regressions, thr
+    else
+        print "bench_compare: no regressions beyond " thr "%"
+}'
+
+missing=$(join -v1 "$base_tbl" "$fresh_tbl" | awk '{print $1}')
+if [[ -n "$missing" ]]; then
+  echo "bench_compare: benchmarks in $baseline but missing from $fresh:" $missing
+fi
+exit 0

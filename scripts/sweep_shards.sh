@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# sweep_shards.sh — end-to-end proof of the sweep distribution layer.
+#
+# Usage:
+#   scripts/sweep_shards.sh [scenario-name] [shards] [workdir]
+#
+# Runs one built-in scenario three ways and asserts the invariants CI
+# relies on:
+#   1. split across N shard processes + `vcebench merge`  — artifacts must
+#      be byte-identical to the single-process run;
+#   2. twice against one -cache-dir — the second (warm) run must report
+#      zero cache misses, i.e. it performed zero simulations, and produce
+#      identical artifacts.
+# Exits non-zero on any divergence.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+name="${1:-hetero-baseline}"
+shards="${2:-2}"
+runs="${RUNS:-3}"
+if [[ -n "${3:-}" ]]; then
+  work="$3" # caller-owned: kept for inspection
+else
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+fi
+
+echo "== building vcebench"
+go build -o "$work/vcebench" ./cmd/vcebench
+
+echo "== single-process reference sweep ($name, runs=$runs)"
+"$work/vcebench" -name "$name" -runs "$runs" -q -out "$work/single" >/dev/null
+
+echo "== $shards shard processes + merge"
+merge_args=()
+for ((i = 0; i < shards; i++)); do
+  "$work/vcebench" -name "$name" -runs "$runs" -q -shard "$i/$shards" -out "$work/shard-$i" >/dev/null
+  merge_args+=("$work/shard-$i")
+done
+"$work/vcebench" merge -out "$work/merged" "${merge_args[@]}" >/dev/null
+
+if ! diff -r "$work/single" "$work/merged"; then
+  echo "FAIL: merged $shards-shard artifacts differ from the single-process run" >&2
+  exit 1
+fi
+echo "OK: $shards-shard merge is byte-identical to the single-process run"
+
+echo "== cold + warm sweep against a shared result cache"
+"$work/vcebench" -name "$name" -runs "$runs" -q -cache-dir "$work/cache" -out "$work/cold" 2> "$work/cold.err" >/dev/null
+"$work/vcebench" -name "$name" -runs "$runs" -q -cache-dir "$work/cache" -out "$work/warm" 2> "$work/warm.err" >/dev/null
+cat "$work/cold.err" "$work/warm.err"
+
+if ! grep -q 'misses: 0,' "$work/warm.err"; then
+  echo "FAIL: warm sweep still simulated (expected 'misses: 0' in its cache stats)" >&2
+  exit 1
+fi
+if grep -q 'hits: 0,' "$work/warm.err"; then
+  echo "FAIL: warm sweep hit nothing — the cache is not being consulted" >&2
+  exit 1
+fi
+if ! diff -r "$work/cold" "$work/warm" || ! diff -r "$work/single" "$work/warm"; then
+  echo "FAIL: cached artifacts differ from the uncached run" >&2
+  exit 1
+fi
+echo "OK: warm cache performed zero simulations and reproduced the artifacts exactly"
