@@ -29,13 +29,29 @@
 // content-addressed result store keyed by (engine version, spec, policy
 // cell, run); shards and repeat runs sharing the directory never simulate
 // the same cell twice.
+//
+// `vcebench check` property-checks the engine itself over randomized
+// generated scenarios:
+//
+//	vcebench check -seeds 50            # 50 generated specs × every invariant
+//	vcebench check -seeds 200 -out /tmp/repros
+//
+// Each generated spec is swept repeatedly while the harness asserts
+// engine-wide invariants — seed determinism, worker-count invariance,
+// shard/merge and cache-warm identity, policy-matrix and machine-order
+// permutation invariance, kernel conservation-of-work/monotonicity (audit
+// hook), and makespan dominance. A violated property is minimized to the
+// smallest still-failing spec and written to -out as a `vcebench -spec`
+// reproduction file; the exit status is non-zero.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -44,56 +60,75 @@ import (
 	"strings"
 
 	"vce/internal/scenario"
+	"vce/internal/scenario/check"
 	"vce/internal/scenario/store"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "merge" {
-		os.Exit(runMerge(os.Args[2:]))
-	}
-	os.Exit(run())
+	os.Exit(dispatch(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is main's body with a normal return path, so the profiling defers
-// fire even when the sweep ends in an error exit code.
-func run() int {
+// dispatch routes subcommands; everything below main takes its arguments
+// and output streams explicitly so the CLI is testable in-process.
+func dispatch(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "merge":
+			return runMerge(args[1:], stdout, stderr)
+		case "check":
+			return runCheck(args[1:], stdout, stderr)
+		}
+	}
+	return run(args, stdout, stderr)
+}
+
+// run is the default sweep command, with a normal return path so the
+// profiling defers fire even when the sweep ends in an error exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vcebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		specPath = flag.String("spec", "", "path to a scenario spec JSON file")
-		name     = flag.String("name", "", "built-in scenario name (see -list)")
-		list     = flag.Bool("list", false, "list built-in scenarios and exit")
-		dump     = flag.Bool("dump", false, "print the resolved spec JSON and exit (template for -spec)")
-		runs     = flag.Int("runs", 0, "override the spec's runs-per-cell count")
-		seed     = flag.Uint64("seed", 0, "override the spec's root seed")
-		out      = flag.String("out", "", "output directory for artifacts (omit to print the table only)")
-		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
-		workers  = flag.Int("workers", 0, "concurrent (instance, run) jobs (0 = one per CPU)")
-		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none)")
-		keepOn   = flag.Bool("keep-going", false, "collect per-run errors instead of failing fast; report what succeeded")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
-		memProf  = flag.String("memprofile", "", "write an allocation profile after the sweep to this file")
-		shardArg = flag.String("shard", "", "run only shard i of N grid slices, as \"i/N\" (0-based); combine outputs with `vcebench merge`")
-		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory; hits skip simulation entirely")
+		specPath = fs.String("spec", "", "path to a scenario spec JSON file")
+		name     = fs.String("name", "", "built-in scenario name (see -list)")
+		list     = fs.Bool("list", false, "list built-in scenarios and exit")
+		dump     = fs.Bool("dump", false, "print the resolved spec JSON and exit (template for -spec)")
+		runs     = fs.Int("runs", 0, "override the spec's runs-per-cell count")
+		seed     = fs.Uint64("seed", 0, "override the spec's root seed")
+		out      = fs.String("out", "", "output directory for artifacts (omit to print the table only)")
+		quiet    = fs.Bool("q", false, "suppress per-run progress lines")
+		workers  = fs.Int("workers", 0, "concurrent (instance, run) jobs (0 = one per CPU)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none)")
+		keepOn   = fs.Bool("keep-going", false, "collect per-run errors instead of failing fast; report what succeeded")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memProf  = fs.String("memprofile", "", "write an allocation profile after the sweep to this file")
+		shardArg = fs.String("shard", "", "run only shard i of N grid slices, as \"i/N\" (0-based); combine outputs with `vcebench merge`")
+		cacheDir = fs.String("cache-dir", "", "content-addressed result cache directory; hits skip simulation entirely")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	shard, err := parseShard(*shardArg)
 	if err != nil {
-		return fail(err)
+		return fail(stderr, err)
 	}
 	var cache *store.FS
 	if *cacheDir != "" {
 		if cache, err = store.Open(*cacheDir); err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -104,13 +139,13 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memProf)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // settle live objects so the profile shows real retention
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 			}
 		}()
 	}
@@ -118,14 +153,14 @@ func run() int {
 	if *list {
 		for _, n := range scenario.BuiltinNames() {
 			sp, _ := scenario.Builtin(n)
-			fmt.Printf("%-16s %s\n", n, sp.Description)
+			fmt.Fprintf(stdout, "%-16s %s\n", n, sp.Description)
 		}
 		return 0
 	}
 
 	sp, err := loadSpec(*specPath, *name)
 	if err != nil {
-		return fail(err)
+		return fail(stderr, err)
 	}
 	if *runs > 0 {
 		sp.Runs = *runs
@@ -134,10 +169,10 @@ func run() int {
 		sp.Seed = *seed
 	}
 	if *dump {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(sp); err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		return 0
 	}
@@ -147,7 +182,7 @@ func run() int {
 		// The engine serializes progress calls, so plain Fprintf is safe
 		// even at -workers > 1 (lines arrive in completion order).
 		progress = func(inst scenario.Instance, run int, idx scenario.Indexes) {
-			fmt.Fprintf(os.Stderr, "%-40s run %d: completed=%d makespan=%.0fs migrations=%d failed=%d\n",
+			fmt.Fprintf(stderr, "%-40s run %d: completed=%d makespan=%.0fs migrations=%d failed=%d\n",
 				inst.Key(), run, idx.Completed, idx.MakespanS, idx.Migrations, idx.Failed)
 		}
 	}
@@ -169,27 +204,29 @@ func run() int {
 		Cache:           cacheStore,
 	})
 	if cache != nil {
-		// The stats line is machine-checked by scripts/sweep_shards.sh: a
-		// warm repeat must show "misses: 0" — zero simulations performed.
+		// The stats line is machine-checked by scripts/sweep_shards.sh and
+		// the CLI tests: a warm repeat must show "misses: 0" — zero
+		// simulations performed — and corrupt entries must be visible, not
+		// silently folded into the miss count.
 		st := cache.Stats()
-		fmt.Fprintf(os.Stderr, "vcebench: cache %s: hits: %d, misses: %d, corrupt: %d\n",
+		fmt.Fprintf(stderr, "vcebench: cache %s: hits: %d, misses: %d, corrupt: %d\n",
 			cache.Dir(), st.Hits, st.Misses, st.Corrupt)
 	}
 	if err != nil {
 		if rep == nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
-		fmt.Fprintf(os.Stderr, "vcebench: partial results: %v\n", err)
+		fmt.Fprintf(stderr, "vcebench: partial results: %v\n", err)
 	}
 	partial := err != nil
-	fmt.Println(rep.ComparisonTable().String())
+	fmt.Fprintln(stdout, rep.ComparisonTable().String())
 	if *out != "" {
 		written, err := rep.WriteArtifacts(*out)
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		for _, p := range written {
-			fmt.Printf("wrote %s\n", p)
+			fmt.Fprintf(stdout, "wrote %s\n", p)
 		}
 	}
 	if partial {
@@ -229,14 +266,18 @@ func parseShard(s string) (scenario.Shard, error) {
 // runMerge is the `vcebench merge` subcommand: it loads the report.json
 // artifact from each shard output directory (or file path), merges them
 // into the single-process report and writes/prints it like a normal sweep.
-func runMerge(args []string) int {
+func runMerge(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	out := fs.String("out", "", "output directory for the merged artifacts (omit to print the table only)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vcebench merge [-out dir] <shard-dir>...\n\nMerges the report.json artifacts of sharded sweep runs into the\nbyte-identical single-process report.\n\n")
+		fmt.Fprintf(stderr, "usage: vcebench merge [-out dir] <shard-dir>...\n\nMerges the report.json artifacts of sharded sweep runs into the\nbyte-identical single-process report.\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
 		return 2
 	}
 	if fs.NArg() == 0 {
@@ -251,28 +292,81 @@ func runMerge(args []string) int {
 		}
 		rep, err := scenario.LoadReport(path)
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		reports = append(reports, rep)
 	}
 	merged, err := scenario.MergeReports(reports...)
 	if err != nil {
-		return fail(err)
+		return fail(stderr, err)
 	}
-	fmt.Println(merged.ComparisonTable().String())
+	fmt.Fprintln(stdout, merged.ComparisonTable().String())
 	if *out != "" {
 		written, err := merged.WriteArtifacts(*out)
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		for _, p := range written {
-			fmt.Printf("wrote %s\n", p)
+			fmt.Fprintf(stdout, "wrote %s\n", p)
 		}
 	}
 	return 0
 }
 
-func fail(err error) int {
-	fmt.Fprintln(os.Stderr, err)
+// runCheck is the `vcebench check` subcommand: the randomized invariant
+// harness (internal/scenario/check) over -seeds generated scenarios.
+func runCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seeds    = fs.Int("seeds", 50, "how many generated scenario specs to sweep")
+		baseSeed = fs.Uint64("seed", 1, "first generation seed (spec i uses seed+i)")
+		out      = fs.String("out", ".", "directory for minimized failure-reproduction specs")
+		workers  = fs.Int("workers", 4, "worker count for the parallel side of the invariance properties")
+		quiet    = fs.Bool("q", false, "suppress per-seed progress lines")
+		propsArg = fs.String("properties", "", "comma-separated property subset (default: all)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: vcebench check [-seeds N] [-seed base] [-out dir] [-properties a,b]\n\nProperty-checks the whole engine over randomized generated scenarios.\nProperties: %s\n\n",
+			strings.Join(check.PropertyNames(), ", "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	opts := check.Options{
+		Seeds:    *seeds,
+		BaseSeed: *baseSeed,
+		Workers:  *workers,
+		OutDir:   *out,
+	}
+	if !*quiet {
+		opts.Log = stderr
+	}
+	if *propsArg != "" {
+		opts.Properties = strings.Split(*propsArg, ",")
+	}
+	res, err := check.Run(context.Background(), opts)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintln(stdout, res.Table().String())
+	if !res.Ok() {
+		for _, f := range res.Failures {
+			fmt.Fprintf(stderr, "vcebench check: seed %d: property %s FAILED: %v\n", f.Seed, f.Property, f.Err)
+			if f.ReproPath != "" {
+				fmt.Fprintf(stderr, "vcebench check: minimized repro written to %s (run: vcebench -spec %s)\n", f.ReproPath, f.ReproPath)
+			}
+		}
+		return 1
+	}
+	return 0
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, err)
 	return 1
 }

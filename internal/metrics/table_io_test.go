@@ -3,6 +3,7 @@ package metrics
 import (
 	"encoding/csv"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -96,6 +97,91 @@ func TestMarkdownEscapesPipes(t *testing.T) {
 	for _, want := range []string{"a\\|b", "x\\|y", "| --- | --- |"} {
 		if !strings.Contains(md, want) {
 			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestNonFiniteCells pins how NaN and ±Inf float cells render across every
+// output path: as the literal strings "NaN"/"+Inf"/"-Inf" — never as bare
+// tokens that would corrupt the containing JSON document (cells are always
+// JSON strings) and always round-trippable through the CSV reader.
+func TestNonFiniteCells(t *testing.T) {
+	nan := math.NaN()
+	tb := NewTable("t", "metric", "value")
+	tb.AddRow("nan", nan)
+	tb.AddRow("posinf", math.Inf(1))
+	tb.AddRow("neginf", math.Inf(-1))
+
+	if got := tb.Cell(0, 1); got != "NaN" {
+		t.Errorf("NaN cell = %q", got)
+	}
+	if got := tb.Cell(1, 1); got != "+Inf" {
+		t.Errorf("+Inf cell = %q", got)
+	}
+	if got := tb.Cell(2, 1); got != "-Inf" {
+		t.Errorf("-Inf cell = %q", got)
+	}
+
+	var csvBuf strings.Builder
+	if err := tb.WriteCSV(&csvBuf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(csvBuf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV with non-finite cells does not re-parse: %v", err)
+	}
+	if recs[1][1] != "NaN" || recs[2][1] != "+Inf" || recs[3][1] != "-Inf" {
+		t.Errorf("CSV rows = %v", recs[1:])
+	}
+
+	var jsonBuf strings.Builder
+	if err := tb.WriteJSON(&jsonBuf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(jsonBuf.String()), &doc); err != nil {
+		t.Fatalf("JSON with non-finite cells is invalid: %v", err)
+	}
+	if doc.Rows[0][1] != "NaN" {
+		t.Errorf("JSON NaN cell = %q", doc.Rows[0][1])
+	}
+
+	md := tb.Markdown()
+	for _, want := range []string{"NaN", "+Inf", "-Inf"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestMarkdownEmptyTable: an empty table still renders a well-formed header
+// and separator, with no data rows.
+func TestMarkdownEmptyTable(t *testing.T) {
+	tb := NewTable("empty", "a", "b")
+	md := tb.Markdown()
+	lines := strings.Split(strings.TrimRight(md, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("empty table markdown has %d lines, want header + separator:\n%s", len(lines), md)
+	}
+	if lines[0] != "| a | b |" || lines[1] != "| --- | --- |" {
+		t.Errorf("markdown = %q", lines)
+	}
+}
+
+// TestTrimFloatEdgeCases pins the display rounding used by AddRow.
+func TestTrimFloatEdgeCases(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		1.5:      "1.5",
+		-0.00004: "-0", // rounds to -0.0000, trimmed to the sign alone
+		2.00001:  "2",
+		-3:       "-3",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
 		}
 	}
 }

@@ -36,6 +36,11 @@ func (c *Cell) runNumber(i int) int {
 // Report is the analyzed outcome of a scenario: every cell with its per-run
 // indexes, ready to render as comparison tables and artifacts.
 type Report struct {
+	// Engine stamps the simulation semantics that produced the indexes
+	// (EngineVersion at execution time). MergeReports refuses to combine
+	// reports carrying different stamps: their numbers are not one sweep.
+	// Empty in artifacts written before the stamp existed.
+	Engine string `json:"engine,omitempty"`
 	// Spec is the executed scenario (defaults applied).
 	Spec *Spec `json:"spec"`
 	// Cells lists the matrix cells in expansion order.

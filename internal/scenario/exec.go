@@ -75,6 +75,12 @@ type Options struct {
 	// contract and the EngineVersion stamp. Cache errors degrade to
 	// recomputation — they never fail the sweep.
 	Cache Store
+	// Audit attaches the engine invariant auditor to every run (see
+	// RunInstanceAudited): any conservation-of-work or virtual-time
+	// violation fails that run with an *AuditError. Audit disables Cache
+	// for the sweep — a cache hit skips exactly the simulation the audit
+	// exists to watch.
+	Audit bool
 }
 
 // job and outcome are the executor's fan-out and fan-in records; cell and
@@ -132,10 +138,14 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 			jobs = append(jobs, job{cell: cell, run: run})
 		}
 	}
+	cache := opts.Cache
+	if opts.Audit {
+		cache = nil // audited sweeps must simulate every cell
+	}
 	// The canonical world serialization is shared by every cell key; hash
 	// it once per sweep instead of once per job.
 	var world []byte
-	if opts.Cache != nil {
+	if cache != nil {
 		var err error
 		if world, err = sp.canonicalWorldJSON(); err != nil {
 			return nil, err
@@ -167,22 +177,22 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 			// the surfaced error depend on goroutine scheduling.
 			for j := range jobCh {
 				var key string
-				if opts.Cache != nil {
+				if cache != nil {
 					key = cellKey(world, insts[j.cell].Sched, insts[j.cell].Migration, j.run)
 					// A cache error (I/O failure, corrupt entry already
 					// evicted by the store) is just a miss: the cache may
 					// never make a sweep fail that would have succeeded
 					// without it.
-					if idx, ok, err := opts.Cache.Get(key); err == nil && ok {
+					if idx, ok, err := cache.Get(key); err == nil && ok {
 						outCh <- outcome{cell: j.cell, run: j.run, idx: idx}
 						continue
 					}
 				}
-				idx, err := RunInstanceContext(ctx, insts[j.cell], j.run)
-				if err == nil && opts.Cache != nil {
+				idx, err := runInstance(ctx, insts[j.cell], j.run, opts.Audit)
+				if err == nil && cache != nil {
 					// Best-effort write-through: a read-only or full cache
 					// directory costs reuse, not correctness.
-					_ = opts.Cache.Put(key, idx)
+					_ = cache.Put(key, idx)
 				}
 				outCh <- outcome{cell: j.cell, run: j.run, idx: idx, err: err}
 			}
@@ -251,7 +261,7 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 		return nil, errs[0]
 	}
 
-	rep := &Report{Spec: sp}
+	rep := &Report{Engine: EngineVersion, Spec: sp}
 	for cell, inst := range insts {
 		c := Cell{Sched: inst.Sched, Migration: inst.Migration}
 		var survivors []int

@@ -51,6 +51,34 @@ func MergeReports(reports ...*Report) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: merge: %w", err)
 	}
+	// Engine stamps must agree pairwise: indexes produced by different
+	// simulation semantics are different experiments, however equal the
+	// specs look. Unstamped (pre-stamp) reports are tolerated alongside any
+	// ONE stamp for artifact back-compatibility, so the reference is the
+	// first non-empty stamp wherever it appears, not report 0's field.
+	engine := ""
+	engineFrom := -1
+	for i, rep := range reports {
+		// Duplicate (sched, migration) cells inside one report would let the
+		// per-cell merge below silently conflate unrelated run sets.
+		seen := make(map[string]bool, len(rep.Cells))
+		for _, c := range rep.Cells {
+			key := c.Sched + "/" + c.Migration
+			if seen[key] {
+				return nil, fmt.Errorf("scenario: merge: report %d contains cell %s twice", i, key)
+			}
+			seen[key] = true
+		}
+		if rep.Engine == "" {
+			continue
+		}
+		if engine == "" {
+			engine, engineFrom = rep.Engine, i
+		} else if rep.Engine != engine {
+			return nil, fmt.Errorf("scenario: merge: report %d was produced by engine %q, report %d by %q — results from different engine versions cannot be one sweep",
+				i, rep.Engine, engineFrom, engine)
+		}
+	}
 	for i, rep := range reports[1:] {
 		spec, err := json.Marshal(rep.Spec)
 		if err != nil {
@@ -71,7 +99,8 @@ func MergeReports(reports ...*Report) (*Report, error) {
 		}
 	}
 
-	out := &Report{Spec: ref.Spec}
+	// Carry the stamp forward (all stamped inputs agree; some may predate it).
+	out := &Report{Engine: engine, Spec: ref.Spec}
 	for c := range ref.Cells {
 		merged := Cell{Sched: ref.Cells[c].Sched, Migration: ref.Cells[c].Migration}
 		byRun := make(map[int]Indexes)

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMergeRejectsDuplicateCells: a report whose cell list names the same
+// (sched, migration) coordinate twice is structurally corrupt; merging it
+// could silently conflate unrelated run sets.
+func TestMergeRejectsDuplicateCells(t *testing.T) {
+	rep, err := RunContext(context.Background(), testSpec(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := *rep
+	dup.Cells = append(append([]Cell(nil), rep.Cells...), rep.Cells[0])
+	if _, err := MergeReports(&dup); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate cell accepted: %v", err)
+	}
+}
+
+// TestMergeRejectsEngineMismatch: reports stamped by different engine
+// versions are different experiments, spec equality notwithstanding.
+func TestMergeRejectsEngineMismatch(t *testing.T) {
+	sp := testSpec()
+	a, err := RunContext(context.Background(), sp, Options{Shard: Shard{Index: 0, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), sp, Options{Shard: Shard{Index: 1, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Engine != EngineVersion {
+		t.Fatalf("executor stamped %q, want %q", a.Engine, EngineVersion)
+	}
+	stale := *b
+	stale.Engine = "vce-scenario/0-ancient"
+	if _, err := MergeReports(a, &stale); err == nil || !strings.Contains(err.Error(), "engine") {
+		t.Fatalf("engine mismatch accepted: %v", err)
+	}
+
+	// A pre-stamp (empty-engine) report merges with a stamped one — old
+	// artifacts stay loadable — and the stamp survives the merge.
+	legacy := *b
+	legacy.Engine = ""
+	merged, err := MergeReports(a, &legacy)
+	if err != nil {
+		t.Fatalf("legacy unstamped report rejected: %v", err)
+	}
+	if merged.Engine != EngineVersion {
+		t.Fatalf("merged engine = %q, want %q", merged.Engine, EngineVersion)
+	}
+}
+
+// TestMergeEngineMismatchEitherOrder: the mismatch must be caught whichever
+// report comes first, including when the reference itself is unstamped.
+func TestMergeEngineMismatchEitherOrder(t *testing.T) {
+	sp := testSpec()
+	a, err := RunContext(context.Background(), sp, Options{Shard: Shard{Index: 0, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), sp, Options{Shard: Shard{Index: 1, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := *a
+	stale.Engine = "vce-scenario/0-ancient"
+	if _, err := MergeReports(&stale, b); err == nil || !strings.Contains(err.Error(), "engine") {
+		t.Fatalf("engine mismatch with stale reference accepted: %v", err)
+	}
+	unstamped := *a
+	unstamped.Engine = ""
+	if merged, err := MergeReports(&unstamped, b); err != nil || merged.Engine != EngineVersion {
+		t.Fatalf("unstamped reference: merged=%v err=%v", merged, err)
+	}
+	// An unstamped reference must not blind the check to a mismatch among
+	// the later reports.
+	staleB := *b
+	staleB.Engine = "vce-scenario/0-ancient"
+	if _, err := MergeReports(&unstamped, a, &staleB); err == nil || !strings.Contains(err.Error(), "engine") {
+		t.Fatalf("mismatch behind an unstamped reference accepted: %v", err)
+	}
+}
+
+// TestLoadReportMissingAndCorrupt covers the remaining artifact-loading
+// error paths `vcebench merge` depends on: an absent file (the empty shard
+// directory case) and a torn report.json.
+func TestLoadReportMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadReport(filepath.Join(dir, ReportFile)); err == nil {
+		t.Fatal("missing report.json loaded")
+	}
+	torn := filepath.Join(dir, "torn.json")
+	if err := os.WriteFile(torn, []byte(`{"spec": {"name":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(torn); err == nil {
+		t.Fatal("torn report.json loaded")
+	}
+	noSpec := filepath.Join(dir, "nospec.json")
+	if err := os.WriteFile(noSpec, []byte(`{"cells": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(noSpec); err == nil || !strings.Contains(err.Error(), "no spec") {
+		t.Fatalf("spec-less report accepted: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"vce/internal/arch"
@@ -73,6 +74,39 @@ func RunInstance(inst Instance, run int) (Indexes, error) {
 	return RunInstanceContext(context.Background(), inst, run)
 }
 
+// AuditError reports engine-invariant violations recorded by an audited run
+// (see RunInstanceAudited and Options.Audit).
+type AuditError struct {
+	// Instance and Run locate the violating cell.
+	Instance string
+	Run      int
+	// Violations are the auditor's messages; Dropped counts messages beyond
+	// the auditor's retention cap.
+	Violations []string
+	Dropped    int
+}
+
+func (e *AuditError) Error() string {
+	// No "scenario: <instance> run <n>" prefix here: the executor wraps
+	// collected run errors with exactly that context, and direct callers
+	// have the Instance/Run fields.
+	msg := "engine audit failed:\n  " + strings.Join(e.Violations, "\n  ")
+	if e.Dropped > 0 {
+		msg += fmt.Sprintf("\n  ... and %d more violations", e.Dropped)
+	}
+	return msg
+}
+
+// RunInstanceAudited is RunInstanceContext with the engine invariant auditor
+// attached to the run's kernel (sim.AttachAuditor): virtual-time
+// monotonicity, conservation of work and per-task progress sanity are
+// re-derived event by event, and any violation fails the run with an
+// *AuditError. The auditor observes without perturbing, so a clean audited
+// run returns indexes bitwise-identical to RunInstanceContext.
+func RunInstanceAudited(ctx context.Context, inst Instance, run int) (Indexes, error) {
+	return runInstance(ctx, inst, run, true)
+}
+
 // RunInstanceContext is RunInstance under a context: a cancelled or expired
 // ctx halts the discrete-event loop at the next probe tick and returns
 // ctx's error. The instance builds a fully isolated world — its own
@@ -82,6 +116,12 @@ func RunInstance(inst Instance, run int) (Indexes, error) {
 // indexes bitwise-identical to RunInstance: the probe events observe the
 // simulation without mutating it or consuming random draws.
 func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, error) {
+	return runInstance(ctx, inst, run, false)
+}
+
+// runInstance is the shared body of RunInstanceContext and
+// RunInstanceAudited.
+func runInstance(ctx context.Context, inst Instance, run int, audit bool) (Indexes, error) {
 	sp := inst.Spec.withDefaults()
 	if err := sp.Validate(); err != nil {
 		return Indexes{}, err
@@ -109,6 +149,13 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 			return Indexes{}, err
 		}
 		machines[i] = m
+	}
+
+	// An audited run re-derives the kernel's accounting invariants alongside
+	// the simulation; the auditor only observes, so indexes are unchanged.
+	var auditor *sim.Auditor
+	if audit {
+		auditor = sim.AttachAuditor(c)
 	}
 
 	// down marks failed machines; ownerLoad remembers the owner trace's
@@ -432,6 +479,15 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 		return Indexes{}, ctx.Err()
 	}
 	end := c.Sim.Now()
+	if auditor != nil {
+		auditor.Finish()
+		if v := auditor.Violations(); len(v) > 0 {
+			return Indexes{}, &AuditError{
+				Instance: inst.Key(), Run: run,
+				Violations: v, Dropped: auditor.Dropped,
+			}
+		}
+	}
 
 	// Rejected counts tasks that never got a placement; fault-requeued tasks
 	// stranded in the queue at the horizon were placed once and already show

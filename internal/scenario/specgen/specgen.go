@@ -1,0 +1,242 @@
+// Package specgen is the seeded random generator of valid scenario specs —
+// the input half of the engine's property-testing harness (its output half is
+// internal/scenario/check). Given a uint64 seed it deterministically samples
+// a heterogeneous machine set, a workload mix, optional owner-churn and fault
+// models, and a scheduling × migration policy matrix, and returns a Spec that
+// always passes scenario.Validate.
+//
+// Determinism is the contract: Generate(seed, caps) yields a byte-identical
+// spec on every call, platform and Go version, so a failing property can be
+// reported and replayed as just (seed, caps) — and the committed corpus under
+// testdata/corpus stays in sync with the generator by regeneration.
+//
+// Generated sizes are bounded by Caps so a whole `vcebench check -seeds N`
+// sweep stays cheap; every knob the scenario schema exposes is exercised
+// across seeds, including the ones the shipped example specs never combine.
+package specgen
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"vce/internal/rng"
+	"vce/internal/scenario"
+)
+
+// Caps bound the generated scenario's size. The zero value means
+// DefaultCaps.
+type Caps struct {
+	// MaxMachines bounds the total generated machine count (≥ 1).
+	MaxMachines int
+	// MaxTasks bounds the workload size (≥ 1).
+	MaxTasks int
+	// MaxRuns bounds runs-per-cell (≥ 1).
+	MaxRuns int
+	// MaxHorizonS bounds the simulated duration (> 0).
+	MaxHorizonS float64
+	// MaxCells bounds the policy matrix area: scheduling × migration list
+	// sizes are drawn so their product never exceeds it (≥ 1).
+	MaxCells int
+}
+
+// DefaultCaps keep a generated spec's full property sweep in the
+// milliseconds range: small worlds find the same accounting bugs big ones
+// do, just faster.
+func DefaultCaps() Caps {
+	return Caps{MaxMachines: 10, MaxTasks: 32, MaxRuns: 2, MaxHorizonS: 900, MaxCells: 6}
+}
+
+// withDefaults fills zero fields from DefaultCaps.
+func (c Caps) withDefaults() Caps {
+	d := DefaultCaps()
+	if c.MaxMachines <= 0 {
+		c.MaxMachines = d.MaxMachines
+	}
+	if c.MaxTasks <= 0 {
+		c.MaxTasks = d.MaxTasks
+	}
+	if c.MaxRuns <= 0 {
+		c.MaxRuns = d.MaxRuns
+	}
+	if c.MaxHorizonS <= 0 {
+		c.MaxHorizonS = d.MaxHorizonS
+	}
+	if c.MaxCells <= 0 {
+		c.MaxCells = d.MaxCells
+	}
+	return c
+}
+
+// classes are the distinct machine classes the generator draws from. One
+// keyword per generated-name prefix: two spec entries sharing a prefix would
+// collide on generated machine names, which scenario.Validate cannot see but
+// the engine rejects at world-build time.
+var classes = []string{"workstation", "mimd", "simd", "vector"}
+
+// round2 quantizes a float to two decimals so generated specs serialize
+// compactly and reproduce exactly through JSON.
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+// dist draws a parameterized work/speed distribution inside [lo, hi].
+func dist(r *rng.Source, lo, hi float64) scenario.Dist {
+	a, b := round2(r.Range(lo, hi)), round2(r.Range(lo, hi))
+	if a > b {
+		a, b = b, a
+	}
+	switch r.Intn(4) {
+	case 0:
+		return scenario.Dist{Kind: "fixed", Value: a}
+	case 1:
+		if a == b {
+			b = round2(a + 1)
+		}
+		return scenario.Dist{Kind: "uniform", Min: a, Max: b}
+	case 2:
+		// Alpha stays above 1.1 so the heavy tail cannot draw work beyond
+		// what a bounded horizon can express.
+		return scenario.Dist{Kind: "pareto", Alpha: round2(r.Range(1.1, 3)), Xmin: a}
+	default:
+		return scenario.Dist{Kind: "normal", Mean: b, Stddev: round2(r.Range(0, b / 4))}
+	}
+}
+
+// subset returns a random non-empty subset of all, preserving order.
+func subset(r *rng.Source, all []string, max int) []string {
+	if max > len(all) {
+		max = len(all)
+	}
+	n := 1 + r.Intn(max)
+	picked := make([]string, 0, n)
+	idx := r.Perm(len(all))[:n]
+	// Keep canonical order so equal subsets serialize identically whatever
+	// permutation selected them.
+	for _, name := range all {
+		for _, i := range idx {
+			if all[i] == name {
+				picked = append(picked, name)
+				break
+			}
+		}
+	}
+	return picked
+}
+
+// Generate returns the deterministic random spec for seed under caps.
+// The result always validates; a generator change that breaks that
+// invariant is caught by this package's tests, not by downstream harness
+// noise.
+func Generate(seed uint64, caps Caps) *scenario.Spec {
+	caps = caps.withDefaults()
+	r := rng.New(seed).Derive("specgen")
+
+	sp := &scenario.Spec{
+		Name:        fmt.Sprintf("gen-%016x", seed),
+		Description: fmt.Sprintf("specgen seed %d", seed),
+		HorizonS:    round2(r.Range(caps.MaxHorizonS/3, caps.MaxHorizonS)),
+		Runs:        1 + r.Intn(caps.MaxRuns),
+		Seed:        r.Uint64(),
+	}
+
+	// ---- machine set ----
+	mr := r.Derive("machines")
+	nclasses := 1 + mr.Intn(3)
+	if nclasses > caps.MaxMachines {
+		nclasses = caps.MaxMachines
+	}
+	order := mr.Perm(len(classes))
+	budget := caps.MaxMachines
+	for i := 0; i < nclasses; i++ {
+		count := 1 + mr.Intn(budget-(nclasses-1-i)) // leave ≥1 for later classes
+		budget -= count
+		cl := scenario.MachineClassSpec{
+			Class: classes[order[i]],
+			Count: count,
+			Speed: dist(mr, 0.5, 4),
+		}
+		if mr.Bool(0.3) {
+			cl.Slots = 1 + mr.Intn(3)
+		}
+		if mr.Bool(0.2) {
+			cl.MemoryMB = 32 << mr.Intn(5)
+		}
+		sp.Machines.Classes = append(sp.Machines.Classes, cl)
+	}
+	sp.Machines.BandwidthMiBps = round2(mr.Range(0.5, 16))
+	if mr.Bool(0.5) {
+		sp.Machines.LatencyMs = round2(mr.Range(0, 20))
+	}
+
+	// ---- workload ----
+	wr := r.Derive("workload")
+	sp.Workload = scenario.WorkloadSpec{
+		Tasks:          1 + wr.Intn(caps.MaxTasks),
+		Work:           dist(wr, 10, sp.HorizonS/4),
+		Arrivals:       scenario.ArrivalSpec{Kind: "batch"},
+		ImageMiB:       round2(wr.Range(0.5, 8)),
+		Checkpointable: wr.Bool(0.6),
+	}
+	if wr.Bool(0.4) {
+		// A rate that lands most arrivals inside the horizon; stragglers
+		// exercise the rejected-at-horizon path deliberately.
+		rate := float64(sp.Workload.Tasks) / (sp.HorizonS * wr.Range(0.3, 0.9))
+		sp.Workload.Arrivals = scenario.ArrivalSpec{Kind: "poisson", RatePerS: round2(rate*1000) / 1000}
+		if sp.Workload.Arrivals.RatePerS <= 0 {
+			sp.Workload.Arrivals.RatePerS = 0.001
+		}
+	}
+	if wr.Bool(0.3) {
+		pin := sp.Machines.Classes[wr.Intn(len(sp.Machines.Classes))].Class
+		sp.Workload.Constrained = &scenario.ConstrainedSpec{
+			Fraction: round2(wr.Range(0.1, 0.5)),
+			Class:    pin,
+		}
+	}
+
+	// ---- churn and faults ----
+	cr := r.Derive("churn")
+	if cr.Bool(0.5) {
+		sp.Owner = &scenario.OwnerSpec{
+			MeanIdleS: round2(cr.Range(30, sp.HorizonS/2)),
+			MeanBusyS: round2(cr.Range(30, sp.HorizonS/2)),
+			BusyLoad:  round2(cr.Range(0.5, 1.5)),
+		}
+	}
+	if cr.Bool(0.3) {
+		sp.Faults = &scenario.FaultSpec{
+			MTBFHours: round2(cr.Range(0.1, 2)),
+			DownS:     round2(cr.Range(30, 600)),
+		}
+		sp.CheckpointIntervalS = round2(cr.Range(10, 120))
+	}
+
+	// ---- policy matrix ----
+	pr := r.Derive("policies")
+	scheds := subset(pr, scenario.SchedPolicyNames(), len(scenario.SchedPolicyNames()))
+	maxMig := caps.MaxCells / len(scheds)
+	if maxMig < 1 {
+		maxMig = 1
+	}
+	sp.Policies = scenario.PolicyMatrix{
+		Scheduling: scheds,
+		Migration:  subset(pr, scenario.MigrationNames(), maxMig),
+	}
+
+	if err := sp.Validate(); err != nil {
+		// The generator's whole point is emitting valid specs; an invalid
+		// one is a specgen bug, never scenario input noise.
+		panic(fmt.Sprintf("specgen: seed %d generated an invalid spec: %v", seed, err))
+	}
+	return sp
+}
+
+// MarshalCanonical serializes a spec the way the corpus stores it: indented,
+// key order fixed by the struct, trailing newline.
+func MarshalCanonical(sp *scenario.Spec) ([]byte, error) {
+	data, err := json.MarshalIndent(sp, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("specgen: %w", err)
+	}
+	return append(data, '\n'), nil
+}

@@ -58,6 +58,11 @@ type Task struct {
 	doneWork float64
 	// accumBase is the machine accumulator value at placement.
 	accumBase float64
+	// placements counts AddTask acceptances — a generation stamp that
+	// uniquely identifies each residency (the auditor's progress-monotone
+	// check is scoped by it; accumulator values can collide across
+	// machines).
+	placements int
 	// finishKey = (Work - doneWork) + accumBase at placement: constant for
 	// the whole residency, and ordering residents by (finishKey, ID) is
 	// ordering them by remaining work — the heart of the O(1) accounting.
@@ -214,6 +219,10 @@ func minf(a, b float64) float64 {
 	return b
 }
 
+// maxETASeconds bounds a completion ETA (~31 virtual years): far beyond any
+// plausible horizon, yet safely inside time.Duration's int64 range.
+const maxETASeconds = 1e9
+
 // workEpsilon is the completion tolerance: absolute floor plus a relative
 // component so large work values with float residue still terminate.
 func workEpsilon(work float64) float64 {
@@ -265,7 +274,15 @@ func (m *Machine) reschedule(now time.Duration) {
 		return // frozen or empty: nothing will complete
 	}
 	next := m.ordered[0]
-	eta := time.Duration((next.Work - m.progress(next)) / rate * float64(time.Second))
+	etaSec := (next.Work - m.progress(next)) / rate
+	// Cap the ETA below the Duration range: an extreme work draw (the heavy
+	// Pareto tail, or a generated/fuzzed spec) would otherwise overflow the
+	// float→int64 conversion into an implementation-defined value. The cap is
+	// ~31 virtual years — past any horizon, so the event just sits unfired.
+	if etaSec > maxETASeconds || etaSec != etaSec {
+		etaSec = maxETASeconds
+	}
+	eta := time.Duration(etaSec * float64(time.Second))
 	if eta < time.Nanosecond {
 		// Floor at the clock granularity: a zero-delay event would
 		// re-fire at the same timestamp without accruing progress,
@@ -350,6 +367,7 @@ func (m *Machine) AddTask(t *Task) error {
 	m.advance(now)
 	t.machine = m
 	t.accumBase = m.accum
+	t.placements++
 	t.finishKey = (t.Work - t.doneWork) + m.accum
 	if t.startedAt == 0 && t.doneWork == 0 {
 		t.startedAt = now

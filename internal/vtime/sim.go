@@ -28,6 +28,10 @@ type Sim struct {
 	free   []int32
 	nfired int64
 	halted bool
+	// audit, when set, observes every fired event just before its callback
+	// runs (see SetAuditHook). Nil on the production path: the only cost is
+	// one predictable branch per event.
+	audit func(at time.Duration)
 }
 
 // NewSim returns a simulation kernel positioned at virtual time zero.
@@ -211,6 +215,15 @@ func (s *Sim) siftDown(i int) {
 	s.slots[e.slot].idx = int32(i)
 }
 
+// SetAuditHook installs (or, with nil, removes) an observer called once per
+// fired event, after the virtual clock has advanced to the event's instant
+// and before the event's callback executes. The hook sees the exact fire
+// sequence — times are non-decreasing by construction, and an auditor that
+// re-derives kernel invariants (internal/sim's conservation-of-work Auditor)
+// hangs off this — but must not schedule, cancel or halt: it is a probe, not
+// a participant.
+func (s *Sim) SetAuditHook(fn func(at time.Duration)) { s.audit = fn }
+
 // Halt stops Run after the currently executing event returns.
 func (s *Sim) Halt() { s.halted = true }
 
@@ -233,6 +246,9 @@ func (s *Sim) RunUntil(limit time.Duration) time.Duration {
 		at, fn := s.popMin()
 		s.now = at
 		s.nfired++
+		if s.audit != nil {
+			s.audit(at)
+		}
 		fn()
 	}
 	if s.now < limit && len(s.heap) == 0 && !s.halted {
@@ -252,6 +268,9 @@ func (s *Sim) Step() bool {
 	at, fn := s.popMin()
 	s.now = at
 	s.nfired++
+	if s.audit != nil {
+		s.audit(at)
+	}
 	fn()
 	return true
 }

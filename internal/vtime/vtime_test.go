@@ -426,3 +426,51 @@ func TestSimPropertyEventsFireInTimestampOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAuditHook pins the kernel audit-hook contract: called once per fired
+// event, after the clock advances to the event's instant, before the
+// callback runs, with non-decreasing timestamps.
+func TestAuditHook(t *testing.T) {
+	s := NewSim()
+	var hooked []time.Duration
+	ran := 0
+	s.SetAuditHook(func(at time.Duration) {
+		if s.Now() != at {
+			t.Errorf("hook at %v but Now() = %v", at, s.Now())
+		}
+		if len(hooked) > 0 && at < hooked[len(hooked)-1] {
+			t.Errorf("hook times decreased: %v after %v", at, hooked[len(hooked)-1])
+		}
+		if len(hooked) != ran {
+			t.Errorf("hook fired after callback: %d hooks, %d callbacks", len(hooked), ran)
+		}
+		hooked = append(hooked, at)
+	})
+	s.At(20*time.Millisecond, func() { ran++ })
+	s.At(10*time.Millisecond, func() {
+		ran++
+		s.After(5*time.Millisecond, func() { ran++ })
+	})
+	s.Run()
+	if len(hooked) != 3 || int(s.Fired()) != 3 {
+		t.Fatalf("hook saw %d events, Fired() = %d, want 3", len(hooked), s.Fired())
+	}
+	// Removing the hook stops observation.
+	s.SetAuditHook(nil)
+	s.At(s.Now()+time.Millisecond, func() { ran++ })
+	s.Run()
+	if len(hooked) != 3 {
+		t.Fatalf("nil hook still observed events: %d", len(hooked))
+	}
+}
+
+// TestAuditHookStep covers the Step fire path.
+func TestAuditHookStep(t *testing.T) {
+	s := NewSim()
+	n := 0
+	s.SetAuditHook(func(time.Duration) { n++ })
+	s.At(time.Millisecond, func() {})
+	if !s.Step() || n != 1 {
+		t.Fatalf("Step: hook count %d, want 1", n)
+	}
+}

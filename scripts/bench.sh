@@ -31,6 +31,9 @@ trap 'rm -f "$tmp"' EXIT
 go test "${args[@]}" -bench 'BenchmarkKernel' ./internal/vtime/ | tee -a "$tmp"
 go test "${args[@]}" -bench 'BenchmarkClusterHour|BenchmarkLoadSteps|BenchmarkSimHotPath' ./internal/sim/ | tee -a "$tmp"
 go test "${args[@]}" -bench 'BenchmarkScenarioEngine' . | tee -a "$tmp"
+# The invariant harness's own wall time: one full property sweep over one
+# generated spec. Tracked so `vcebench check` stays cheap enough for CI.
+go test "${args[@]}" -bench 'BenchmarkVcebenchCheck' ./internal/scenario/check/ | tee -a "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }
