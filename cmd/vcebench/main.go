@@ -59,9 +59,19 @@ import (
 	"strconv"
 	"strings"
 
+	"vce/internal/obs"
 	"vce/internal/scenario"
 	"vce/internal/scenario/check"
 	"vce/internal/scenario/store"
+)
+
+// Telemetry artifact names. These are CLI-level files — WriteArtifacts (and
+// therefore the golden set, merge identity, and the report schema) never
+// sees them; they carry wall-clock and cache-traffic data that must not
+// influence report bytes.
+const (
+	telemetryFile  = "telemetry.json"
+	cacheStatsFile = "cache_stats.json"
 )
 
 func main() {
@@ -103,6 +113,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memProf  = fs.String("memprofile", "", "write an allocation profile after the sweep to this file")
 		shardArg = fs.String("shard", "", "run only shard i of N grid slices, as \"i/N\" (0-based); combine outputs with `vcebench merge`")
 		cacheDir = fs.String("cache-dir", "", "content-addressed result cache directory; hits skip simulation entirely")
+		traceOut = fs.String("trace", "", "write a Chrome trace-event JSON of the sweep to this file (load in ui.perfetto.dev)")
+		telem    = fs.Bool("telemetry", false, "record sweep telemetry and write telemetry.json into -out")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -177,13 +189,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	var progress scenario.Progress
+	var progress func(scenario.ProgressEvent)
 	if !*quiet {
 		// The engine serializes progress calls, so plain Fprintf is safe
-		// even at -workers > 1 (lines arrive in completion order).
-		progress = func(inst scenario.Instance, run int, idx scenario.Indexes) {
-			fmt.Fprintf(stderr, "%-40s run %d: completed=%d makespan=%.0fs migrations=%d failed=%d\n",
-				inst.Key(), run, idx.Completed, idx.MakespanS, idx.Migrations, idx.Failed)
+		// even at -workers > 1 (lines arrive in completion order). Cached
+		// replays are tagged so a warm sweep's log is honest about having
+		// simulated nothing.
+		progress = func(ev scenario.ProgressEvent) {
+			tag := ""
+			if ev.Cached {
+				tag = " [cache]"
+			}
+			fmt.Fprintf(stderr, "%-40s run %d: completed=%d makespan=%.0fs migrations=%d failed=%d%s\n",
+				ev.Instance.Key(), ev.Run, ev.Indexes.Completed, ev.Indexes.MakespanS, ev.Indexes.Migrations, ev.Indexes.Failed, tag)
 		}
 	}
 	ctx := context.Background()
@@ -196,12 +214,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if cache != nil {
 		cacheStore = cache
 	}
+	// The recorder exists only when asked for: a nil Telemetry option is
+	// the engine's true off-path (no clock reads, kernel stats detached).
+	var rec *obs.Recorder
+	if *traceOut != "" || *telem {
+		rec = obs.New()
+	}
 	rep, err := scenario.RunContext(ctx, sp, scenario.Options{
 		Workers:         *workers,
 		ContinueOnError: *keepOn,
-		Progress:        progress,
+		ProgressV2:      progress,
 		Shard:           shard,
 		Cache:           cacheStore,
+		Telemetry:       rec,
 	})
 	if cache != nil {
 		// The stats line is machine-checked by scripts/sweep_shards.sh and
@@ -211,6 +236,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		st := cache.Stats()
 		fmt.Fprintf(stderr, "vcebench: cache %s: hits: %d, misses: %d, corrupt: %d\n",
 			cache.Dir(), st.Hits, st.Misses, st.Corrupt)
+		if rec != nil {
+			rec.SetCacheStats(obs.CacheStats{Hits: st.Hits, Misses: st.Misses, Corrupt: st.Corrupt})
+		}
 	}
 	if err != nil {
 		if rep == nil {
@@ -225,14 +253,77 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, err)
 		}
+		if cache != nil {
+			// Per-shard cache traffic rides along next to report.json so
+			// `vcebench merge` can aggregate stats across shard directories
+			// instead of dropping them.
+			p := filepath.Join(*out, cacheStatsFile)
+			if err := writeCacheStats(p, obs.CacheStats(cache.Stats())); err != nil {
+				return fail(stderr, err)
+			}
+			written = append(written, p)
+		}
+		if rec != nil && *telem {
+			p := filepath.Join(*out, telemetryFile)
+			if err := writeFileWith(p, rec.WriteSummary); err != nil {
+				return fail(stderr, err)
+			}
+			written = append(written, p)
+		}
 		for _, p := range written {
 			fmt.Fprintf(stdout, "wrote %s\n", p)
 		}
+	}
+	if rec != nil && *traceOut != "" {
+		if err := writeFileWith(*traceOut, rec.WriteTrace); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *traceOut)
 	}
 	if partial {
 		return 1
 	}
 	return 0
+}
+
+// writeFileWith creates path and streams fn into it, surfacing both write
+// and close errors.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeCacheStats persists one sweep's result-store traffic as JSON.
+func writeCacheStats(path string, s obs.CacheStats) error {
+	return writeFileWith(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s)
+	})
+}
+
+// readCacheStats loads a shard directory's cache_stats.json; ok is false
+// when the file does not exist (pre-telemetry shard outputs, cacheless
+// sweeps).
+func readCacheStats(path string) (s obs.CacheStats, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return obs.CacheStats{}, false, nil
+	}
+	if err != nil {
+		return obs.CacheStats{}, false, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return obs.CacheStats{}, false, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, true, nil
 }
 
 func loadSpec(specPath, name string) (*scenario.Spec, error) {
@@ -285,10 +376,23 @@ func runMerge(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	reports := make([]*scenario.Report, 0, fs.NArg())
+	var cacheTotal obs.CacheStats
+	cacheShards := 0
 	for _, arg := range fs.Args() {
 		path := arg
 		if st, err := os.Stat(path); err == nil && st.IsDir() {
 			path = filepath.Join(path, scenario.ReportFile)
+			// Shard sweeps that ran with -cache-dir leave their store
+			// traffic beside report.json; the merged view must sum the
+			// per-shard counters, not drop them.
+			st, ok, err := readCacheStats(filepath.Join(arg, cacheStatsFile))
+			if err != nil {
+				return fail(stderr, err)
+			}
+			if ok {
+				cacheTotal = cacheTotal.Add(st)
+				cacheShards++
+			}
 		}
 		rep, err := scenario.LoadReport(path)
 		if err != nil {
@@ -300,11 +404,24 @@ func runMerge(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
+	if cacheShards > 0 {
+		// Same line grammar as the sweep command's stats line, so the
+		// tooling that scrapes one scrapes the other.
+		fmt.Fprintf(stderr, "vcebench: cache (%d shards): hits: %d, misses: %d, corrupt: %d\n",
+			cacheShards, cacheTotal.Hits, cacheTotal.Misses, cacheTotal.Corrupt)
+	}
 	fmt.Fprintln(stdout, merged.ComparisonTable().String())
 	if *out != "" {
 		written, err := merged.WriteArtifacts(*out)
 		if err != nil {
 			return fail(stderr, err)
+		}
+		if cacheShards > 0 {
+			p := filepath.Join(*out, cacheStatsFile)
+			if err := writeCacheStats(p, cacheTotal); err != nil {
+				return fail(stderr, err)
+			}
+			written = append(written, p)
 		}
 		for _, p := range written {
 			fmt.Fprintf(stdout, "wrote %s\n", p)

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vce/internal/obs"
+)
+
+// TestTraceAndTelemetryArtifacts: -trace writes a Chrome trace-event JSON
+// document, -telemetry writes telemetry.json into -out, and turning
+// telemetry on changes no report artifact byte.
+func TestTraceAndTelemetryArtifacts(t *testing.T) {
+	spec := writeTinySpec(t)
+	base := t.TempDir()
+	plain := filepath.Join(base, "plain")
+	traced := filepath.Join(base, "traced")
+	tracePath := filepath.Join(base, "out.trace.json")
+
+	if code, _, errOut := runCLI(t, "-spec", spec, "-q", "-out", plain); code != 0 {
+		t.Fatalf("plain sweep exit %d:\n%s", code, errOut)
+	}
+	code, stdout, errOut := runCLI(t, "-spec", spec, "-q", "-out", traced,
+		"-trace", tracePath, "-telemetry")
+	if code != 0 {
+		t.Fatalf("traced sweep exit %d:\n%s", code, errOut)
+	}
+	for _, p := range []string{tracePath, filepath.Join(traced, telemetryFile)} {
+		if !strings.Contains(stdout, "wrote "+p) {
+			t.Errorf("stdout does not announce %s:\n%s", p, stdout)
+		}
+	}
+
+	// The trace must be a loadable trace-event document: a traceEvents
+	// array with one complete event per grid cell.
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	cells := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && strings.Contains(ev.Name, "#") {
+			cells++
+		}
+	}
+	if cells != 4 { // 1 sched × 2 migrations × 2 runs
+		t.Errorf("trace has %d cell events, want 4", cells)
+	}
+
+	// telemetry.json must parse as a Summary covering every cell with live
+	// kernel counters.
+	tdata, err := os.ReadFile(filepath.Join(traced, telemetryFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum obs.Summary
+	if err := json.Unmarshal(tdata, &sum); err != nil {
+		t.Fatalf("telemetry.json is not a Summary: %v", err)
+	}
+	if sum.Schema != obs.SummarySchema || sum.Totals.Cells != 4 {
+		t.Fatalf("telemetry schema/cells = %d/%d, want %d/4", sum.Schema, sum.Totals.Cells, obs.SummarySchema)
+	}
+	if sum.Totals.Kernel.Fired == 0 || sum.Totals.Kernel.StateChanges == 0 {
+		t.Errorf("kernel counters empty: %+v", sum.Totals.Kernel)
+	}
+
+	// Telemetry observes, it never participates: every report artifact must
+	// be byte-identical with and without the recorder attached.
+	entries, err := os.ReadDir(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		want, err := os.ReadFile(filepath.Join(plain, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(traced, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs between plain and telemetry-on sweeps", e.Name())
+		}
+	}
+}
+
+// TestProgressCacheTag: warm-cache progress lines carry the [cache] tag,
+// cold ones do not.
+func TestProgressCacheTag(t *testing.T) {
+	spec := writeTinySpec(t)
+	cacheDir := t.TempDir()
+
+	code, _, errOut := runCLI(t, "-spec", spec, "-cache-dir", cacheDir)
+	if code != 0 {
+		t.Fatalf("cold sweep exit %d:\n%s", code, errOut)
+	}
+	if strings.Contains(errOut, "[cache]") {
+		t.Fatalf("cold sweep progress claims cache hits:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "run 0") {
+		t.Fatalf("no progress lines on cold sweep:\n%s", errOut)
+	}
+
+	code, _, errOut = runCLI(t, "-spec", spec, "-cache-dir", cacheDir)
+	if code != 0 {
+		t.Fatalf("warm sweep exit %d:\n%s", code, errOut)
+	}
+	tagged := 0
+	for _, line := range strings.Split(errOut, "\n") {
+		if strings.Contains(line, "run ") && strings.HasSuffix(line, "[cache]") {
+			tagged++
+		}
+	}
+	if tagged != 4 { // every grid cell replayed from cache
+		t.Fatalf("warm sweep tagged %d/4 progress lines as cached:\n%s", tagged, errOut)
+	}
+}
+
+// TestMergeAggregatesCacheStats: `vcebench merge` sums the per-shard
+// cache_stats.json files instead of dropping them, prints the aggregate
+// stats line, and writes the merged file.
+func TestMergeAggregatesCacheStats(t *testing.T) {
+	spec := writeTinySpec(t)
+	base := t.TempDir()
+	cacheDir := filepath.Join(base, "cache")
+	s0 := filepath.Join(base, "s0")
+	s1 := filepath.Join(base, "s1")
+	merged := filepath.Join(base, "merged")
+
+	for _, args := range [][]string{
+		{"-spec", spec, "-q", "-shard", "0/2", "-cache-dir", cacheDir, "-out", s0},
+		{"-spec", spec, "-q", "-shard", "1/2", "-cache-dir", cacheDir, "-out", s1},
+	} {
+		if code, _, errOut := runCLI(t, args...); code != 0 {
+			t.Fatalf("vcebench %v exit %d:\n%s", args, code, errOut)
+		}
+	}
+	code, _, errOut := runCLI(t, "merge", "-out", merged, s0, s1)
+	if code != 0 {
+		t.Fatalf("merge exit %d:\n%s", code, errOut)
+	}
+	// Each cold shard simulated its half of the 4-cell grid: 0 hits, 4
+	// misses in total across both shard stats files.
+	m := cacheStats.FindStringSubmatch(errOut)
+	if m == nil {
+		t.Fatalf("merge printed no aggregated cache stats line:\n%s", errOut)
+	}
+	if m[1] != "0" || m[2] != "4" || m[3] != "0" {
+		t.Fatalf("merged stats = hits %s, misses %s, corrupt %s; want 0/4/0", m[1], m[2], m[3])
+	}
+	var sum obs.CacheStats
+	data, err := os.ReadFile(filepath.Join(merged, cacheStatsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if (sum != obs.CacheStats{Misses: 4}) {
+		t.Fatalf("merged cache_stats.json = %+v, want 4 misses", sum)
+	}
+
+	// A merge over pre-telemetry shard dirs (no cache_stats.json) stays
+	// silent rather than inventing zeros.
+	if err := os.Remove(filepath.Join(s0, cacheStatsFile)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(s1, cacheStatsFile)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, errOut = runCLI(t, "merge", s0, s1)
+	if cacheStats.MatchString(errOut) {
+		t.Fatalf("merge without stats files printed a stats line:\n%s", errOut)
+	}
+}

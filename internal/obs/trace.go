@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// traceEvent is one entry of the Chrome trace-event format ("Trace Event
+// Format", the JSON documents Perfetto and chrome://tracing load). Only
+// the event kinds we emit are modeled: "X" (complete span), "i" (instant)
+// and "M" (metadata: process/thread names).
+type traceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"` // microseconds from the recorder origin
+	Dur  int64  `json:"dur,omitempty"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	// S is the instant-event scope ("t" = thread).
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the top-level JSON object.
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// tracePid is the single process id all events carry.
+const tracePid = 1
+
+func us(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// spanDurUS converts a span's extent to a trace duration, flooring at 1 µs
+// so sub-microsecond cells (cache hits) stay visible and valid.
+func spanDurUS(start, end time.Duration) int64 {
+	d := us(end - start)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// WriteTrace emits the recorder's contents as a Chrome trace-event JSON
+// document: one track (tid) per worker lane plus lane 0 for the sweep's
+// own phases, a complete-event per cell with nested setup/simulate/measure
+// slices, and an instant marker on every cache replay. Load the file in
+// ui.perfetto.dev or chrome://tracing.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	r.mu.Lock()
+	cells := make([]Cell, len(r.cells))
+	copy(cells, r.cells)
+	spans := make([]span, len(r.spans))
+	copy(spans, r.spans)
+	workers := r.workers
+	r.mu.Unlock()
+
+	var evs []traceEvent
+	// Metadata: name the process and every lane. Lanes are discovered from
+	// the records rather than assumed from the worker count, so a partial
+	// or serial sweep still names exactly the tracks it used.
+	lanes := map[int]bool{0: true}
+	for _, c := range cells {
+		lanes[c.Lane] = true
+	}
+	evs = append(evs, traceEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid, Tid: 0,
+		Args: map[string]any{"name": fmt.Sprintf("vcebench sweep (workers=%d)", workers)},
+	})
+	laneIDs := make([]int, 0, len(lanes))
+	for l := range lanes {
+		laneIDs = append(laneIDs, l)
+	}
+	sort.Ints(laneIDs)
+	for _, l := range laneIDs {
+		name := "sweep"
+		if l > 0 {
+			name = fmt.Sprintf("worker %d", l)
+		}
+		evs = append(evs, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: l,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for _, sp := range spans {
+		evs = append(evs, traceEvent{
+			Name: sp.name, Cat: "sweep", Ph: "X", Pid: tracePid, Tid: 0,
+			Ts: us(sp.start), Dur: spanDurUS(sp.start, sp.end),
+		})
+	}
+
+	for _, c := range cells {
+		name := fmt.Sprintf("%s/%s#%d", c.Sched, c.Migration, c.Run)
+		args := map[string]any{
+			"run":           c.Run,
+			"cached":        c.Cached,
+			"queue_wait_ms": ms(c.Start - c.Enqueued),
+			"scheduled":     c.Kernel.Scheduled,
+			"fired":         c.Kernel.Fired,
+			"cancelled":     c.Kernel.Cancelled,
+			"heap_max":      c.Kernel.HeapMax,
+			"state_changes": c.Kernel.StateChanges,
+		}
+		evs = append(evs, traceEvent{
+			Name: name, Cat: "cell", Ph: "X", Pid: tracePid, Tid: c.Lane,
+			Ts: us(c.Start), Dur: spanDurUS(c.Start, c.End), Args: args,
+		})
+		if c.Cached {
+			evs = append(evs, traceEvent{
+				Name: "cache-hit", Cat: "cache", Ph: "i", S: "t",
+				Pid: tracePid, Tid: c.Lane, Ts: us(c.Start),
+			})
+			continue
+		}
+		// Phase slices nest under the cell slice: laid out consecutively
+		// from the cell start, clamped so children never escape the parent
+		// (the residue — cache lookup, bookkeeping — stays unattributed).
+		at := c.Start
+		for _, ph := range []struct {
+			name string
+			dur  time.Duration
+		}{{"setup", c.Setup}, {"simulate", c.Simulate}, {"measure", c.Measure}} {
+			if ph.dur <= 0 {
+				continue
+			}
+			end := at + ph.dur
+			if end > c.End {
+				end = c.End
+			}
+			if end <= at {
+				break
+			}
+			evs = append(evs, traceEvent{
+				Name: ph.name, Cat: "phase", Ph: "X", Pid: tracePid, Tid: c.Lane,
+				Ts: us(at), Dur: spanDurUS(at, end),
+			})
+			at = end
+		}
+	}
+
+	// Stable order: metadata first, then by (ts, tid, name) — keeps the
+	// artifact deterministic in structure for a fixed record set.
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M"
+		}
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.Name < b.Name
+	})
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceDoc{DisplayTimeUnit: "ms", TraceEvents: evs})
+}

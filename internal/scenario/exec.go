@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"vce/internal/obs"
 )
 
 // Progress reports engine progress to an observer (the CLI's live log). The
@@ -13,6 +16,20 @@ import (
 // with itself and needs no locking — but under more than one worker the
 // invocation order is completion order, not cell/run order.
 type Progress func(inst Instance, run int, idx Indexes)
+
+// ProgressEvent is the richer per-run progress record delivered to
+// Options.ProgressV2: the Progress tuple plus execution provenance —
+// today, whether the run was replayed from the result cache or actually
+// simulated, which the live log needs to tell a warm sweep from a cold
+// one.
+type ProgressEvent struct {
+	Instance Instance
+	Run      int
+	Indexes  Indexes
+	// Cached reports that the run's indexes came from Options.Cache; the
+	// cell was not simulated.
+	Cached bool
+}
 
 // Shard selects one slice of the (instance × run) grid for a multi-process
 // sweep: shard i of N executes the grid positions whose flattened job index
@@ -65,6 +82,20 @@ type Options struct {
 	// results report progress too — a warm sweep replays the same
 	// callback sequence a cold one produces.
 	Progress Progress
+	// ProgressV2 observes completed runs with the full ProgressEvent
+	// (notably the cache-hit provenance). Serialized exactly like
+	// Progress; both callbacks fire when both are set. May be nil.
+	ProgressV2 func(ProgressEvent)
+	// Telemetry, when non-nil, records the sweep into the observability
+	// recorder (internal/obs): one span per (instance, run) cell with
+	// queue-wait / setup / simulate / measure attribution and kernel
+	// counters, worker-lane occupancy, and sweep-level setup/execute/merge
+	// spans. Wall-clock data lives only in the recorder's artifacts —
+	// never in the Report — so telemetry cannot move goldens, cache keys
+	// or any property the harness checks. Nil (the default) is the true
+	// off-path: the executor reads no clocks and the kernel's stats hook
+	// stays detached.
+	Telemetry *obs.Recorder
 	// Shard restricts execution to one slice of the grid. The zero value
 	// runs everything.
 	Shard Shard
@@ -85,14 +116,19 @@ type Options struct {
 
 // job and outcome are the executor's fan-out and fan-in records; cell and
 // run index into the expansion-order instance and run-number grids.
+// enqueued is the recorder-relative time the feeder handed the job off
+// (zero when telemetry is off) — the worker subtracts it from its own
+// start stamp to attribute queue wait.
 type job struct {
 	cell, run int
+	enqueued  time.Duration
 }
 
 type outcome struct {
 	cell, run int
 	idx       Indexes
 	err       error
+	cached    bool
 }
 
 // Run executes every instance of the spec for the configured number of runs
@@ -118,6 +154,11 @@ func Run(spec *Spec, progress Progress) (*Report, error) {
 // which makes re-runs and interrupted sweeps resumable with zero duplicate
 // simulation.
 func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) {
+	rec := opts.Telemetry
+	var setupStart time.Duration
+	if rec != nil {
+		setupStart = rec.Elapsed()
+	}
 	sp := spec.withDefaults()
 	if err := sp.Validate(); err != nil {
 		return nil, err
@@ -158,6 +199,12 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	var execStart time.Duration
+	if rec != nil {
+		rec.SetWorkers(workers)
+		rec.RecordSpan("setup", setupStart, rec.Elapsed())
+		execStart = rec.Elapsed()
+	}
 
 	// The derived ctx lets fail-fast and early errors stop the feeder and
 	// the in-flight simulations without disturbing the caller's context.
@@ -169,13 +216,19 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		// Lanes are 1-based in the recorder: lane 0 is the sweep's own
+		// track (setup/execute/merge spans).
+		go func(lane int) {
 			defer wg.Done()
 			// The send never blocks forever: the fan-in below drains outCh
 			// until it closes, so every started job delivers its outcome
 			// even after cancellation — dropping outcomes here would make
 			// the surfaced error depend on goroutine scheduling.
 			for j := range jobCh {
+				var start time.Duration
+				if rec != nil {
+					start = rec.Elapsed()
+				}
 				var key string
 				if cache != nil {
 					key = cellKey(world, insts[j.cell].Sched, insts[j.cell].Migration, j.run)
@@ -184,23 +237,46 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 					// never make a sweep fail that would have succeeded
 					// without it.
 					if idx, ok, err := cache.Get(key); err == nil && ok {
-						outCh <- outcome{cell: j.cell, run: j.run, idx: idx}
+						if rec != nil {
+							rec.RecordCell(obs.Cell{
+								Sched: insts[j.cell].Sched, Migration: insts[j.cell].Migration,
+								Run: j.run, Cached: true, Lane: lane,
+								Enqueued: j.enqueued, Start: start, End: rec.Elapsed(),
+							})
+						}
+						outCh <- outcome{cell: j.cell, run: j.run, idx: idx, cached: true}
 						continue
 					}
 				}
-				idx, err := runInstance(ctx, insts[j.cell], j.run, opts.Audit)
+				var tr *obs.RunTrace
+				if rec != nil {
+					tr = new(obs.RunTrace)
+				}
+				idx, err := runInstance(ctx, insts[j.cell], j.run, opts.Audit, tr)
 				if err == nil && cache != nil {
 					// Best-effort write-through: a read-only or full cache
 					// directory costs reuse, not correctness.
 					_ = cache.Put(key, idx)
 				}
+				if rec != nil && err == nil {
+					rec.RecordCell(obs.Cell{
+						Sched: insts[j.cell].Sched, Migration: insts[j.cell].Migration,
+						Run: j.run, Lane: lane,
+						Enqueued: j.enqueued, Start: start, End: rec.Elapsed(),
+						Setup: tr.Setup, Simulate: tr.Simulate, Measure: tr.Measure,
+						Kernel: tr.Kernel,
+					})
+				}
 				outCh <- outcome{cell: j.cell, run: j.run, idx: idx, err: err}
 			}
-		}()
+		}(w + 1)
 	}
 	go func() { // feeder
 		defer close(jobCh)
 		for _, j := range jobs {
+			if rec != nil {
+				j.enqueued = rec.Elapsed()
+			}
 			select {
 			case jobCh <- j:
 			case <-ctx.Done():
@@ -236,6 +312,17 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 		if opts.Progress != nil {
 			opts.Progress(insts[out.cell], out.run, out.idx)
 		}
+		if opts.ProgressV2 != nil {
+			opts.ProgressV2(ProgressEvent{
+				Instance: insts[out.cell], Run: out.run,
+				Indexes: out.idx, Cached: out.cached,
+			})
+		}
+	}
+	var mergeStart time.Duration
+	if rec != nil {
+		rec.RecordSpan("execute", execStart, rec.Elapsed())
+		mergeStart = rec.Elapsed()
 	}
 
 	// The grid is scanned in cell/run order, so the error that surfaces
@@ -278,6 +365,9 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 			c.RunNumbers = survivors
 		}
 		rep.Cells = append(rep.Cells, c)
+	}
+	if rec != nil {
+		rec.RecordSpan("merge", mergeStart, rec.Elapsed())
 	}
 	return rep, errors.Join(errs...)
 }

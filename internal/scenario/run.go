@@ -12,10 +12,12 @@ import (
 	"vce/internal/metrics"
 	"vce/internal/migrate"
 	"vce/internal/netsim"
+	"vce/internal/obs"
 	"vce/internal/rng"
 	"vce/internal/sched"
 	"vce/internal/sim"
 	"vce/internal/taskgraph"
+	"vce/internal/vtime"
 	"vce/internal/workload"
 )
 
@@ -104,7 +106,7 @@ func (e *AuditError) Error() string {
 // *AuditError. The auditor observes without perturbing, so a clean audited
 // run returns indexes bitwise-identical to RunInstanceContext.
 func RunInstanceAudited(ctx context.Context, inst Instance, run int) (Indexes, error) {
-	return runInstance(ctx, inst, run, true)
+	return runInstance(ctx, inst, run, true, nil)
 }
 
 // RunInstanceContext is RunInstance under a context: a cancelled or expired
@@ -116,12 +118,22 @@ func RunInstanceAudited(ctx context.Context, inst Instance, run int) (Indexes, e
 // indexes bitwise-identical to RunInstance: the probe events observe the
 // simulation without mutating it or consuming random draws.
 func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, error) {
-	return runInstance(ctx, inst, run, false)
+	return runInstance(ctx, inst, run, false, nil)
 }
 
 // runInstance is the shared body of RunInstanceContext and
-// RunInstanceAudited.
-func runInstance(ctx context.Context, inst Instance, run int, audit bool) (Indexes, error) {
+// RunInstanceAudited. A non-nil tr attaches run telemetry: wall-clock
+// phase attribution (setup / simulate / measure) plus the kernel's
+// traffic counters, recorded into tr for the executor to fold into the
+// sweep recorder. Telemetry only observes — with tr == nil (the default
+// and the production path) no clock is read and the kernel's stats hook
+// stays detached, and either way the returned Indexes are identical.
+func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *obs.RunTrace) (Indexes, error) {
+	var kstats vtime.Stats
+	var phaseAt time.Time
+	if tr != nil {
+		phaseAt = time.Now()
+	}
 	sp := inst.Spec.withDefaults()
 	if err := sp.Validate(); err != nil {
 		return Indexes{}, err
@@ -134,6 +146,9 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool) (Index
 
 	// ---- world generation (shared across matrix cells) ----
 	c := sim.NewCluster()
+	if tr != nil {
+		c.Sim.SetStats(&kstats)
+	}
 	c.Net = netsim.New(netsim.Link{
 		Latency:   time.Duration(sp.Machines.LatencyMs * float64(time.Millisecond)),
 		Bandwidth: sp.Machines.BandwidthMiBps * (1 << 20),
@@ -470,7 +485,17 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool) (Index
 		}
 		c.Sim.After(interval, probe)
 	}
+	if tr != nil {
+		now := time.Now()
+		tr.Setup = now.Sub(phaseAt)
+		phaseAt = now
+	}
 	c.Sim.RunUntil(horizon)
+	if tr != nil {
+		now := time.Now()
+		tr.Simulate = now.Sub(phaseAt)
+		phaseAt = now
+	}
 	// Only a run the probe actually truncated is discarded: a context that
 	// expires after the final event has run leaves the indexes complete and
 	// valid, and throwing them away would shrink partial reports for no
@@ -520,6 +545,17 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool) (Index
 	}
 	if stealth != nil {
 		idx.Suspensions = stealth.Suspensions
+	}
+	if tr != nil {
+		tr.Measure = time.Since(phaseAt)
+		tr.Kernel = obs.KernelCounters{
+			Scheduled:    kstats.Scheduled,
+			Fired:        kstats.Fired,
+			Cancelled:    kstats.Cancelled,
+			AuditCalls:   kstats.AuditCalls,
+			HeapMax:      kstats.HeapMax,
+			StateChanges: c.StateChanges(),
+		}
 	}
 	return idx, nil
 }

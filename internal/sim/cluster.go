@@ -28,6 +28,7 @@ type Cluster struct {
 	order     []string
 	listeners []ChangeListener
 	taskCount int
+	changes   int64
 	notifying bool
 	pending   []*Machine
 	// speedOrder caches machines by descending speed (stable on
@@ -90,10 +91,16 @@ func (c *Cluster) OnChange(l ChangeListener) {
 	c.listeners = append(c.listeners, l)
 }
 
+// StateChanges returns how many machine state changes (task arrivals and
+// departures, load steps, suspension flips) the cluster has seen — a
+// telemetry counter for attributing where simulated activity concentrates.
+func (c *Cluster) StateChanges() int64 { return c.changes }
+
 // notifyChange fans a machine change out to listeners. Re-entrant changes
 // (listeners migrating tasks, which themselves notify) are queued and
 // drained iteratively so callbacks observe a consistent world.
 func (c *Cluster) notifyChange(m *Machine) {
+	c.changes++
 	if len(c.listeners) == 0 {
 		return
 	}

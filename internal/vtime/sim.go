@@ -32,7 +32,36 @@ type Sim struct {
 	// runs (see SetAuditHook). Nil on the production path: the only cost is
 	// one predictable branch per event.
 	audit func(at time.Duration)
+	// stats, when set, receives kernel traffic counters (see SetStats).
+	// Same discipline as audit: nil on the production path, so the hot
+	// path pays one predictable branch per operation and never allocates.
+	stats *Stats
 }
+
+// Stats counts kernel traffic for an observed run. Attach with SetStats
+// before scheduling; read after the run quiesces. The counters are plain
+// fields, not atomics — Sim is single-threaded by contract, and so is its
+// observer.
+type Stats struct {
+	// Scheduled counts At/After calls (every event ever queued).
+	Scheduled int64
+	// Cancelled counts Cancel calls that actually removed a pending event.
+	Cancelled int64
+	// Fired counts events whose callback executed.
+	Fired int64
+	// AuditCalls counts invocations of the audit hook (zero unless an
+	// auditor was attached while stats were being collected).
+	AuditCalls int64
+	// HeapMax is the high-water pending-queue depth observed at schedule
+	// time — how deep the 4-ary heap actually got.
+	HeapMax int
+}
+
+// SetStats attaches (or, with nil, detaches) a kernel traffic counter
+// block. Like SetAuditHook it is an observer hook: when detached the hot
+// path's only cost is one nil check per queue operation, and attaching it
+// never allocates — the kernel increments fields in the caller's struct.
+func (s *Sim) SetStats(st *Stats) { s.stats = st }
 
 // NewSim returns a simulation kernel positioned at virtual time zero.
 func NewSim() *Sim { return &Sim{} }
@@ -94,6 +123,12 @@ func (s *Sim) At(t time.Duration, fn func()) Event {
 	s.seq++
 	s.slots[sl].idx = int32(i)
 	s.siftUp(i)
+	if s.stats != nil {
+		s.stats.Scheduled++
+		if n := len(s.heap); n > s.stats.HeapMax {
+			s.stats.HeapMax = n
+		}
+	}
 	return Event{slot: sl, gen: s.slots[sl].gen}
 }
 
@@ -118,6 +153,9 @@ func (s *Sim) Cancel(e Event) bool {
 	}
 	s.removeAt(int(sl.idx))
 	s.freeSlot(e.slot)
+	if s.stats != nil {
+		s.stats.Cancelled++
+	}
 	return true
 }
 
@@ -246,7 +284,13 @@ func (s *Sim) RunUntil(limit time.Duration) time.Duration {
 		at, fn := s.popMin()
 		s.now = at
 		s.nfired++
+		if s.stats != nil {
+			s.stats.Fired++
+		}
 		if s.audit != nil {
+			if s.stats != nil {
+				s.stats.AuditCalls++
+			}
 			s.audit(at)
 		}
 		fn()
@@ -268,7 +312,13 @@ func (s *Sim) Step() bool {
 	at, fn := s.popMin()
 	s.now = at
 	s.nfired++
+	if s.stats != nil {
+		s.stats.Fired++
+	}
 	if s.audit != nil {
+		if s.stats != nil {
+			s.stats.AuditCalls++
+		}
 		s.audit(at)
 	}
 	fn()

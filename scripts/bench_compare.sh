@@ -26,9 +26,14 @@ for f in "$baseline" "$fresh"; do
 done
 
 # Both files are produced by scripts/bench.sh: one benchmark object per
-# line, so a line-oriented extraction is reliable here.
+# line, so a line-oriented extraction is reliable here. allocs_per_op is
+# optional per row; rows without it get "-" so the join stays aligned.
 extract() {
   sed -n 's/.*"name": "\([^"]*\)", "ns_per_op": \([0-9.e+]*\).*/\1 \2/p' "$1"
+}
+
+extract_allocs() {
+  sed -n 's/.*"name": "\([^"]*\)".*"allocs_per_op": \([0-9]*\).*/\1 \2/p' "$1"
 }
 
 base_tbl="$(mktemp)"
@@ -61,4 +66,28 @@ missing=$(join -v1 "$base_tbl" "$fresh_tbl" | awk '{print $1}')
 if [[ -n "$missing" ]]; then
   echo "bench_compare: benchmarks in $baseline but missing from $fresh:" $missing
 fi
+
+# Allocation counts are deterministic (no shared-runner noise), so any
+# increase at all is worth a warning: the kernel hot path in particular is
+# contractually 0 allocs/op with the stats observer on or off.
+base_alloc="$(mktemp)"
+fresh_alloc="$(mktemp)"
+trap 'rm -f "$base_tbl" "$fresh_tbl" "$base_alloc" "$fresh_alloc"' EXIT
+extract_allocs "$baseline" | sort > "$base_alloc"
+extract_allocs "$fresh"    | sort > "$fresh_alloc"
+
+join "$base_alloc" "$fresh_alloc" | awk '
+{
+    name = $1; base = $2 + 0; now = $3 + 0
+    if (now > base) {
+        printf "::warning title=alloc regression::%s allocs/op rose %d -> %d\n", name, base, now
+        regressions++
+    }
+}
+END {
+    if (regressions > 0)
+        printf "bench_compare: %d benchmark(s) now allocate more per op (advisory, not blocking)\n", regressions
+    else
+        print "bench_compare: no allocs/op regressions"
+}'
 exit 0

@@ -58,8 +58,31 @@ if grep -q 'hits: 0,' "$work/warm.err"; then
   echo "FAIL: warm sweep hit nothing — the cache is not being consulted" >&2
   exit 1
 fi
-if ! diff -r "$work/cold" "$work/warm" || ! diff -r "$work/single" "$work/warm"; then
+# cache_stats.json is the per-sweep cache traffic (cold: all misses, warm:
+# all hits) — legitimately different between runs, so it is excluded from
+# the byte-identity checks, which cover the report artifacts only.
+if ! diff -r -x cache_stats.json "$work/cold" "$work/warm" ||
+   ! diff -r -x cache_stats.json "$work/single" "$work/warm"; then
   echo "FAIL: cached artifacts differ from the uncached run" >&2
   exit 1
 fi
 echo "OK: warm cache performed zero simulations and reproduced the artifacts exactly"
+
+echo "== traced sweep: telemetry artifacts + report identity"
+"$work/vcebench" -name "$name" -runs "$runs" -q -out "$work/traced" \
+  -trace "$work/out.trace.json" -telemetry >/dev/null
+for f in "$work/out.trace.json" "$work/traced/telemetry.json"; do
+  if [[ ! -s "$f" ]]; then
+    echo "FAIL: traced sweep did not write $f" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"traceEvents"' "$work/out.trace.json"; then
+  echo "FAIL: $work/out.trace.json is not a trace-event document" >&2
+  exit 1
+fi
+if ! diff -r -x telemetry.json "$work/single" "$work/traced"; then
+  echo "FAIL: telemetry changed the report artifacts" >&2
+  exit 1
+fi
+echo "OK: traced sweep wrote Perfetto trace + telemetry.json, report unchanged"
