@@ -30,6 +30,18 @@
 // cell, run); shards and repeat runs sharing the directory never simulate
 // the same cell twice.
 //
+// `vcebench serve` runs the engine as a long-running multi-client daemon
+// over one shared cache directory:
+//
+//	vcebench serve -cache-dir ~/.cache/vce -addr 127.0.0.1:8080
+//
+// POST /sweeps submits a spec; GET /sweeps/{id}(/events|/report) serves
+// status, an NDJSON/SSE progress stream and the finished artifacts
+// (byte-identical to a CLI run of the same spec); GET /stats reports the
+// shared cache's traffic. Identical concurrent submissions cost one
+// sweep's worth of simulation, and a daemon restarted on the same
+// -cache-dir resumes interrupted sweeps from the store.
+//
 // `vcebench check` property-checks the engine itself over randomized
 // generated scenarios:
 //
@@ -53,11 +65,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"vce/internal/obs"
 	"vce/internal/scenario"
@@ -80,21 +94,33 @@ func main() {
 
 // dispatch routes subcommands; everything below main takes its arguments
 // and output streams explicitly so the CLI is testable in-process.
+//
+// SIGINT/SIGTERM cancel the command's root context instead of killing the
+// process outright: Ctrl-C of a long sweep halts in-flight simulations
+// promptly, the observability artifacts (cache stats line, cache_stats.json,
+// telemetry.json, -trace) still land, and the cells that finished are
+// already in the result store — so an interrupted -cache-dir sweep resumes
+// from where it died. A second signal kills the process the default way
+// (NotifyContext stops relaying once the context is cancelled).
 func dispatch(args []string, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if len(args) > 0 {
 		switch args[0] {
 		case "merge":
 			return runMerge(args[1:], stdout, stderr)
 		case "check":
-			return runCheck(args[1:], stdout, stderr)
+			return runCheck(ctx, args[1:], stdout, stderr)
+		case "serve":
+			return runServe(ctx, args[1:], stdout, stderr)
 		}
 	}
-	return run(args, stdout, stderr)
+	return run(ctx, args, stdout, stderr)
 }
 
 // run is the default sweep command, with a normal return path so the
 // profiling defers fire even when the sweep ends in an error exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(baseCtx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vcebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -204,7 +230,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				ev.Instance.Key(), ev.Run, ev.Indexes.Completed, ev.Indexes.MakespanS, ev.Indexes.Migrations, ev.Indexes.Failed, tag)
 		}
 	}
-	ctx := context.Background()
+	ctx := baseCtx
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -231,17 +257,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if cache != nil {
 		// The stats line is machine-checked by scripts/sweep_shards.sh and
 		// the CLI tests: a warm repeat must show "misses: 0" — zero
-		// simulations performed — and corrupt entries must be visible, not
-		// silently folded into the miss count.
+		// simulations performed — and corrupt entries and failed
+		// write-throughs must be visible, not silently folded away.
 		st := cache.Stats()
-		fmt.Fprintf(stderr, "vcebench: cache %s: hits: %d, misses: %d, corrupt: %d\n",
-			cache.Dir(), st.Hits, st.Misses, st.Corrupt)
+		fmt.Fprintf(stderr, "vcebench: cache %s: hits: %d, misses: %d, corrupt: %d, put_errors: %d\n",
+			cache.Dir(), st.Hits, st.Misses, st.Corrupt, st.PutErrors)
 		if rec != nil {
-			rec.SetCacheStats(obs.CacheStats{Hits: st.Hits, Misses: st.Misses, Corrupt: st.Corrupt})
+			rec.SetCacheStats(obs.CacheStats(st))
 		}
 	}
 	if err != nil {
 		if rep == nil {
+			// The sweep produced no report (fail-fast error, timeout or
+			// Ctrl-C) — the observability artifacts still land, so an
+			// interrupted sweep is accountable and, with -cache-dir, the
+			// resume path has its stats file next to the cells the store
+			// already holds.
+			if werr := writeObsArtifacts(*out, cache, rec, *telem, *traceOut, stdout); werr != nil {
+				fmt.Fprintln(stderr, werr)
+			}
 			return fail(stderr, err)
 		}
 		fmt.Fprintf(stderr, "vcebench: partial results: %v\n", err)
@@ -298,6 +332,41 @@ func writeFileWith(path string, fn func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeObsArtifacts lands the observability artifacts of an aborted sweep:
+// cache_stats.json and telemetry.json into out (created if needed) plus the
+// -trace file. The success path writes the same files inline so they slot
+// into the report artifacts' "wrote" listing; this helper exists for the
+// path where there is no report to write but the sweep still has traffic
+// and telemetry to account for.
+func writeObsArtifacts(out string, cache *store.FS, rec *obs.Recorder, telem bool, traceOut string, stdout io.Writer) error {
+	if out != "" && (cache != nil || (rec != nil && telem)) {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		if cache != nil {
+			p := filepath.Join(out, cacheStatsFile)
+			if err := writeCacheStats(p, obs.CacheStats(cache.Stats())); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", p)
+		}
+		if rec != nil && telem {
+			p := filepath.Join(out, telemetryFile)
+			if err := writeFileWith(p, rec.WriteSummary); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", p)
+		}
+	}
+	if rec != nil && traceOut != "" {
+		if err := writeFileWith(traceOut, rec.WriteTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", traceOut)
+	}
+	return nil
 }
 
 // writeCacheStats persists one sweep's result-store traffic as JSON.
@@ -407,8 +476,8 @@ func runMerge(args []string, stdout, stderr io.Writer) int {
 	if cacheShards > 0 {
 		// Same line grammar as the sweep command's stats line, so the
 		// tooling that scrapes one scrapes the other.
-		fmt.Fprintf(stderr, "vcebench: cache (%d shards): hits: %d, misses: %d, corrupt: %d\n",
-			cacheShards, cacheTotal.Hits, cacheTotal.Misses, cacheTotal.Corrupt)
+		fmt.Fprintf(stderr, "vcebench: cache (%d shards): hits: %d, misses: %d, corrupt: %d, put_errors: %d\n",
+			cacheShards, cacheTotal.Hits, cacheTotal.Misses, cacheTotal.Corrupt, cacheTotal.PutErrors)
 	}
 	fmt.Fprintln(stdout, merged.ComparisonTable().String())
 	if *out != "" {
@@ -432,7 +501,7 @@ func runMerge(args []string, stdout, stderr io.Writer) int {
 
 // runCheck is the `vcebench check` subcommand: the randomized invariant
 // harness (internal/scenario/check) over -seeds generated scenarios.
-func runCheck(args []string, stdout, stderr io.Writer) int {
+func runCheck(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -466,7 +535,7 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 	if *propsArg != "" {
 		opts.Properties = strings.Split(*propsArg, ",")
 	}
-	res, err := check.Run(context.Background(), opts)
+	res, err := check.Run(ctx, opts)
 	if err != nil {
 		return fail(stderr, err)
 	}

@@ -27,11 +27,29 @@ package obs
 
 import (
 	"encoding/json"
+	"expvar"
 	"io"
 	"sort"
 	"sync"
 	"time"
 )
+
+// publishMu serializes Publish so concurrent first registrations of the
+// same name cannot both pass the existence check.
+var publishMu sync.Mutex
+
+// Publish registers v under name in the process-wide expvar registry,
+// tolerating re-registration: expvar.Publish panics on a duplicate name,
+// which makes it unusable from code that can run more than once per
+// process (a restarted sweep service, package tests constructing several
+// servers). The first registration wins; later calls are no-ops.
+func Publish(name string, v expvar.Var) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, v)
+	}
+}
 
 // KernelCounters aggregates one run's (or one sweep's) discrete-event
 // kernel traffic, fed by vtime.Stats plus the cluster's change counter.
@@ -62,17 +80,25 @@ func (k *KernelCounters) Merge(o KernelCounters) {
 	k.StateChanges += o.StateChanges
 }
 
-// CacheStats mirrors the result store's hit/miss/corrupt counters
-// (internal/scenario/store.Stats) without importing it.
+// CacheStats mirrors the result store's traffic counters
+// (internal/scenario/store.Stats) without importing it. PutErrors counts
+// write-through failures — a read-only or full cache directory costs reuse
+// silently unless this is surfaced.
 type CacheStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Corrupt uint64 `json:"corrupt"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Corrupt   uint64 `json:"corrupt"`
+	PutErrors uint64 `json:"put_errors"`
 }
 
 // Add returns the entrywise sum — how per-shard stats aggregate at merge.
 func (s CacheStats) Add(o CacheStats) CacheStats {
-	return CacheStats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses, Corrupt: s.Corrupt + o.Corrupt}
+	return CacheStats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Corrupt:   s.Corrupt + o.Corrupt,
+		PutErrors: s.PutErrors + o.PutErrors,
+	}
 }
 
 // RunTrace receives one simulated run's phase boundaries and kernel

@@ -255,8 +255,14 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 				idx, err := runInstance(ctx, insts[j.cell], j.run, opts.Audit, tr)
 				if err == nil && cache != nil {
 					// Best-effort write-through: a read-only or full cache
-					// directory costs reuse, not correctness.
-					_ = cache.Put(key, idx)
+					// directory costs reuse, not correctness — but it must
+					// not look healthy while reuse silently dies, so
+					// failures are counted (the store's Stats.PutErrors,
+					// plus a telemetry counter when a recorder is attached)
+					// even though they never fail the sweep.
+					if perr := cache.Put(key, idx); perr != nil && rec != nil {
+						rec.AddCounter("cache_put_errors", 1)
+					}
 				}
 				if rec != nil && err == nil {
 					rec.RecordCell(obs.Cell{

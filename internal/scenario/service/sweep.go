@@ -1,0 +1,304 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"vce/internal/scenario"
+)
+
+// Sweep lifecycle states. A sweep is queued on submission, running while
+// its RunContext executes, and terminal in done or failed. Interrupted is
+// the shutdown state: the daemon was stopped (or killed) while the sweep
+// was queued or running; a restart on the same cache directory re-queues
+// it, and the cells that finished before the interruption replay from the
+// content-addressed store instead of re-simulating.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateInterrupted = "interrupted"
+)
+
+// Status is one sweep's externally visible state: the GET /sweeps/{id}
+// payload and the state.json persistence record.
+type Status struct {
+	// ID is the sweep's identity: a spec-hash prefix plus a submission
+	// sequence number, so identical specs submitted twice are two sweeps.
+	ID string `json:"id"`
+	// Name is the submitted spec's scenario name.
+	Name string `json:"name"`
+	// SpecHash is the full content hash of the submitted spec; sweeps with
+	// equal hashes execute serially so later ones replay the earlier one's
+	// cells from the shared cache.
+	SpecHash string `json:"spec_hash"`
+	// State is one of the State* constants.
+	State string `json:"state"`
+	// Total is the sweep's grid size: instances × runs-per-cell.
+	Total int `json:"total"`
+	// Done counts completed cells (simulated or replayed); Cached counts
+	// the subset served from the result store; Simulated = Done − Cached.
+	Done      int `json:"done"`
+	Cached    int `json:"cached"`
+	Simulated int `json:"simulated"`
+	// Error carries the failure message for StateFailed.
+	Error string `json:"error,omitempty"`
+	// Artifacts lists the report artifact file names available under
+	// /sweeps/{id}/artifacts/ once the sweep is done.
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// Event is one line of a sweep's progress stream (NDJSON object or SSE
+// data payload). Run events mirror the engine's serialized ProgressV2
+// callback one-to-one — same order, same cache provenance; the stream
+// terminates with a single done/failed/interrupted event.
+type Event struct {
+	// Seq numbers events from 1 in publication order.
+	Seq int `json:"seq"`
+	// Type is "run" for progress events, or a terminal sweep state
+	// ("done", "failed", "interrupted").
+	Type string `json:"type"`
+	// Sched, Migration, Run, Cached and Indexes carry the ProgressV2
+	// payload for run events.
+	Sched     string            `json:"sched,omitempty"`
+	Migration string            `json:"migration,omitempty"`
+	Run       int               `json:"run,omitempty"`
+	Cached    bool              `json:"cached,omitempty"`
+	Indexes   *scenario.Indexes `json:"indexes,omitempty"`
+	// Error carries the failure message on a "failed" event.
+	Error string `json:"error,omitempty"`
+}
+
+// sweep is the server-side record of one submitted sweep.
+type sweep struct {
+	id       string
+	specHash string
+	spec     *scenario.Spec
+	dir      string // <cache-dir>/sweeps/<id>
+
+	mu        sync.Mutex
+	state     string
+	total     int
+	done      int
+	cached    int
+	err       string
+	artifacts []string
+	events    []Event
+	subs      []chan Event
+	closed    bool // terminal state reached; subs drained and closed
+}
+
+// gridSize computes a spec's (instance × run) cell count. Instances()
+// applies the spec's defaults, so the run count is read off the expanded
+// instances rather than the raw (possibly zero) Runs field.
+func gridSize(sp *scenario.Spec) int {
+	insts := sp.Instances()
+	if len(insts) == 0 {
+		return 0
+	}
+	return len(insts) * insts[0].Spec.Runs
+}
+
+// status snapshots the sweep under its lock.
+func (s *sweep) status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Status{
+		ID:        s.id,
+		Name:      s.spec.Name,
+		SpecHash:  s.specHash,
+		State:     s.state,
+		Total:     s.total,
+		Done:      s.done,
+		Cached:    s.cached,
+		Simulated: s.done - s.cached,
+		Error:     s.err,
+		Artifacts: append([]string(nil), s.artifacts...),
+	}
+}
+
+// publishRun is the sweep's ProgressV2 hook. The engine serializes
+// invocations, so events are appended (and fanned out to subscribers) in
+// exactly the callback order; subscriber channels are buffered to the full
+// event capacity, so the send can never block the executor.
+func (s *sweep) publishRun(ev scenario.ProgressEvent) {
+	idx := ev.Indexes
+	s.publish(Event{
+		Type:      "run",
+		Sched:     ev.Instance.Sched,
+		Migration: ev.Instance.Migration,
+		Run:       ev.Run,
+		Cached:    ev.Cached,
+		Indexes:   &idx,
+	})
+}
+
+func (s *sweep) publish(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	ev.Seq = len(s.events) + 1
+	s.events = append(s.events, ev)
+	if ev.Type == "run" {
+		s.done++
+		if ev.Cached {
+			s.cached++
+		}
+	}
+	for _, ch := range s.subs {
+		ch <- ev
+	}
+}
+
+// finish moves the sweep to a terminal state, emits the terminal event and
+// closes every subscriber channel. Idempotent.
+func (s *sweep) finish(state, errMsg string, artifacts []string) {
+	s.publish(Event{Type: state, Error: errMsg})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.state = state
+	s.err = errMsg
+	s.artifacts = artifacts
+	s.closed = true
+	for _, ch := range s.subs {
+		close(ch)
+	}
+	s.subs = nil
+}
+
+// subscribe returns the events published so far plus a live channel for
+// the rest. The replay and the subscription are taken under one lock, so
+// no event is dropped or duplicated between them. For a finished sweep the
+// channel is nil and the replay is complete; a recovered finished sweep
+// (whose in-memory log is empty) synthesizes its terminal event so the
+// stream still ends with a definitive state. cancel detaches the channel
+// (safe to call after the sweep closed it).
+func (s *sweep) subscribe() (replay []Event, live <-chan Event, cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	replay = append([]Event(nil), s.events...)
+	if s.closed {
+		if len(replay) == 0 {
+			replay = []Event{{Seq: 1, Type: s.state, Error: s.err}}
+		}
+		return replay, nil, func() {}
+	}
+	// total+2 bounds the stream: one run event per grid cell plus one
+	// terminal event; the slack keeps an interrupted sweep's terminal
+	// event non-blocking even when every cell already fired.
+	ch := make(chan Event, s.total+2)
+	s.subs = append(s.subs, ch)
+	return replay, ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, c := range s.subs {
+			if c == ch {
+				s.subs = append(s.subs[:i], s.subs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Persistence: each sweep owns <cache-dir>/sweeps/<id>/ with the submitted
+// spec (spec.json), its Status (state.json, rewritten atomically on every
+// state change) and the report artifacts (artifacts/, written by the same
+// WriteArtifacts the CLI uses — so a report fetched from the daemon is
+// byte-identical to a CLI run of the same spec).
+const (
+	sweepsDirName = "sweeps"
+	specFileName  = "spec.json"
+	stateFileName = "state.json"
+	artifactsDir  = "artifacts"
+)
+
+// persist writes the sweep's current Status to state.json via temp+rename,
+// so a killed daemon never leaves a torn state file for recovery to choke
+// on.
+func (s *sweep) persist() error {
+	st := s.status()
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: marshal state: %w", err)
+	}
+	tmp := filepath.Join(s.dir, ".state.json.tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, stateFileName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: %w", err)
+	}
+	return nil
+}
+
+// setState transitions the in-memory state and persists it.
+func (s *sweep) setState(state string) error {
+	s.mu.Lock()
+	s.state = state
+	s.mu.Unlock()
+	return s.persist()
+}
+
+// loadSweep reconstructs a sweep from its persisted directory. The spec is
+// re-parsed (and re-validated) from spec.json; counters for a non-terminal
+// sweep are reset — recovery re-queues it and the store replays whatever
+// already finished.
+func loadSweep(dir string) (*sweep, error) {
+	specData, err := os.ReadFile(filepath.Join(dir, specFileName))
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	sp, err := scenario.Parse(specData)
+	if err != nil {
+		return nil, fmt.Errorf("service: %s: %w", dir, err)
+	}
+	stateData, err := os.ReadFile(filepath.Join(dir, stateFileName))
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	var st Status
+	if err := json.Unmarshal(stateData, &st); err != nil {
+		return nil, fmt.Errorf("service: %s: %w", dir, err)
+	}
+	s := &sweep{
+		id:       st.ID,
+		specHash: st.SpecHash,
+		spec:     sp,
+		dir:      dir,
+		state:    st.State,
+		total:    gridSize(sp),
+	}
+	if st.State == StateDone || st.State == StateFailed {
+		s.done, s.cached, s.err = st.Done, st.Cached, st.Error
+		s.closed = true
+		s.artifacts = listArtifacts(dir)
+	}
+	return s, nil
+}
+
+// listArtifacts names the files under the sweep's artifacts directory.
+func listArtifacts(dir string) []string {
+	entries, err := os.ReadDir(filepath.Join(dir, artifactsDir))
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}

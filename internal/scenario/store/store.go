@@ -11,6 +11,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 
 	"vce/internal/scenario"
@@ -18,11 +19,15 @@ import (
 
 // Stats is a snapshot of a store's traffic counters. Misses counts every
 // Get that did not return a usable entry (absent or corrupt); Corrupt
-// counts the subset that found a file but could not decode it.
+// counts the subset that found a file but could not decode it. PutErrors
+// counts writes that failed to land: the executor treats Put as best
+// effort, so a read-only or full cache directory is invisible in the
+// hit/miss traffic — this counter is how a dying cache stays visible.
 type Stats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Corrupt uint64 `json:"corrupt"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Corrupt   uint64 `json:"corrupt"`
+	PutErrors uint64 `json:"put_errors"`
 }
 
 // FS is the filesystem scenario.Store: one JSON file per cell result,
@@ -34,8 +39,8 @@ type Stats struct {
 // a miss, so the executor falls back to recomputing it. All methods are
 // safe for concurrent use.
 type FS struct {
-	dir                   string
-	hits, misses, corrupt atomic.Uint64
+	dir                             string
+	hits, misses, corrupt, putErrs atomic.Uint64
 }
 
 // Open returns an FS store rooted at dir, creating it if needed. The same
@@ -106,8 +111,39 @@ func (s *FS) Get(key string) (scenario.Indexes, bool, error) {
 // Put implements scenario.Store: write-to-temp plus rename, so readers and
 // concurrent writers only ever observe complete entries. Last writer wins,
 // which is harmless — content addressing means every writer holds the same
-// value.
+// value. Failed writes are counted in Stats().PutErrors: callers treat Put
+// as best effort, so the counter is the only place a dying cache shows up.
 func (s *FS) Put(key string, idx scenario.Indexes) error {
+	if err := s.put(key, idx); err != nil {
+		s.putErrs.Add(1)
+		return err
+	}
+	return nil
+}
+
+// tmpSeq makes temp-file names unique within a process; the pid in the
+// name separates processes sharing a cache directory.
+var tmpSeq atomic.Uint64
+
+// createTemp is os.CreateTemp with an explicit creation mode. Entries in a
+// shared cache must be readable by every process sharing the directory, so
+// the temp file that becomes the entry is created 0644 (filtered through
+// the process umask by the kernel, like any create) rather than
+// os.CreateTemp's hardcoded owner-only 0600 — a rename preserves the temp
+// file's mode, so 0600 here made one user's entries unreadable to every
+// other cache tenant.
+func createTemp(dir, prefix string) (*os.File, error) {
+	for {
+		name := filepath.Join(dir, fmt.Sprintf("%s%d-%d", prefix, os.Getpid(), tmpSeq.Add(1)))
+		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if errors.Is(err, fs.ErrExist) {
+			continue
+		}
+		return f, err
+	}
+}
+
+func (s *FS) put(key string, idx scenario.Indexes) error {
 	if err := checkKey(key); err != nil {
 		return err
 	}
@@ -119,7 +155,7 @@ func (s *FS) Put(key string, idx scenario.Indexes) error {
 	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(final), "."+key+".tmp-*")
+	tmp, err := createTemp(filepath.Dir(final), "."+key+".tmp-")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -141,21 +177,32 @@ func (s *FS) Put(key string, idx scenario.Indexes) error {
 // simulations.
 func (s *FS) Stats() Stats {
 	return Stats{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Corrupt: s.corrupt.Load(),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Corrupt:   s.corrupt.Load(),
+		PutErrors: s.putErrs.Load(),
 	}
 }
 
-// Len walks the store and counts entries — a test and tooling convenience,
-// not a hot path.
+// Len walks the store and counts content-addressed entries. It is safe to
+// call under live traffic: an entry that vanishes mid-walk (a corrupt-entry
+// eviction racing the WalkDir, a concurrent cleaner) is simply not counted
+// rather than aborting the walk, and non-entry JSON files sharing the
+// directory (the sweep service persists sweep state under the same root)
+// are excluded by the key grammar.
 func (s *FS) Len() (int, error) {
 	n := 0
 	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
 			return err
 		}
-		if !d.IsDir() && filepath.Ext(path) == ".json" {
+		if d.IsDir() || filepath.Ext(path) != ".json" {
+			return nil
+		}
+		if checkKey(strings.TrimSuffix(d.Name(), ".json")) == nil {
 			n++
 		}
 		return nil

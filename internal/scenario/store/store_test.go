@@ -187,3 +187,105 @@ func TestConcurrentPutGetSameDir(t *testing.T) {
 		t.Fatalf("leaked temp files: %v", entries)
 	}
 }
+
+func TestPutErrorsCounted(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage one fan-out slot by occupying its directory name with a
+	// regular file: MkdirAll fails with ENOTDIR for every uid (a chmod-based
+	// read-only dir would be ignored when the tests run as root).
+	key := keyFor("puterr")
+	if err := os.WriteFile(filepath.Join(dir, key[:2]), []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, scenario.Indexes{Completed: 1}); err == nil {
+		t.Fatal("Put into a sabotaged fan-out slot succeeded")
+	}
+	if st := s.Stats(); st.PutErrors != 1 {
+		t.Fatalf("stats = %+v, want PutErrors == 1", st)
+	}
+	// Invalid-key rejections are caller bugs, but they are still failed
+	// writes: the counter must not miss them.
+	if err := s.Put("not-a-key", scenario.Indexes{}); err == nil {
+		t.Fatal("Put accepted an invalid key")
+	}
+	if st := s.Stats(); st.PutErrors != 2 {
+		t.Fatalf("stats = %+v, want PutErrors == 2", st)
+	}
+	// Other slots are unaffected.
+	if err := s.Put(keyFor("healthy"), scenario.Indexes{Completed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.PutErrors != 2 {
+		t.Fatalf("healthy Put bumped PutErrors: %+v", st)
+	}
+}
+
+func TestLenCountsOnlyCacheEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []string{"one", "two"} {
+		if err := s.Put(keyFor(tag), scenario.Indexes{Completed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The sweep service persists its state under the same root; none of it
+	// is a content-addressed entry and none of it may inflate Len.
+	sweepDir := filepath.Join(dir, "sweeps", "abc123-0001")
+	if err := os.MkdirAll(filepath.Join(sweepDir, "artifacts"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"spec.json", "state.json", filepath.Join("artifacts", "report.json")} {
+		if err := os.WriteFile(filepath.Join(sweepDir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := s.Len(); err != nil || n != 2 {
+		t.Fatalf("Len = %d, %v; want exactly the 2 cache entries", n, err)
+	}
+}
+
+func TestLenTolerantOfConcurrentEviction(t *testing.T) {
+	// Len runs while another goroutine churns entries in and out of the
+	// directory; a file or fan-out dir vanishing mid-walk must be skipped,
+	// never surfaced as an error.
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := keyFor("churn" + string(rune('a'+i%16)))
+			if err := s.Put(key, scenario.Indexes{Completed: 1}); err != nil {
+				t.Error(err)
+				return
+			}
+			os.Remove(s.path(key))
+			os.Remove(filepath.Dir(s.path(key)))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := s.Len(); err != nil {
+			t.Errorf("Len under churn: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,45 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+	"testing"
+
+	"vce/internal/scenario"
+)
+
+// TestEntriesRespectUmask pins the shared-cache permission contract: entries
+// land with mode 0644 filtered through the process umask (like any normal
+// file create), not os.CreateTemp's owner-only 0600 — a 0600 entry in a
+// multi-user cache directory is unreadable to every other tenant.
+func TestEntriesRespectUmask(t *testing.T) {
+	for _, tc := range []struct {
+		umask int
+		want  os.FileMode
+	}{
+		{0o022, 0o644},
+		{0o027, 0o640},
+	} {
+		old := syscall.Umask(tc.umask)
+		s, err := Open(t.TempDir())
+		if err != nil {
+			syscall.Umask(old)
+			t.Fatal(err)
+		}
+		key := keyFor("perm")
+		err = s.Put(key, scenario.Indexes{Completed: 1})
+		syscall.Umask(old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(s.path(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := info.Mode().Perm(); got != tc.want {
+			t.Errorf("umask %04o: entry mode = %04o, want %04o", tc.umask, got, tc.want)
+		}
+	}
+}

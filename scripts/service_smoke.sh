@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# service_smoke.sh — end-to-end smoke of the sweep service daemon.
+#
+# Usage:
+#   scripts/service_smoke.sh [scenario-name] [workdir]
+#
+# Starts `vcebench serve` on an ephemeral port over a fresh cache
+# directory, submits the same spec twice over HTTP, and asserts the
+# multi-client contracts CI relies on:
+#   1. the second, identical submission performs ZERO simulations — every
+#      cell replays from the shared content-addressed cache;
+#   2. the report fetched from the daemon is byte-identical to the
+#      report.json a plain CLI run of the same spec writes;
+#   3. the daemon shuts down cleanly on SIGTERM (exit 0, state persisted).
+# Exits non-zero on any divergence. Needs curl and jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+name="${1:-hetero-baseline}"
+runs="${RUNS:-3}"
+owned=0
+if [[ -n "${2:-}" ]]; then
+  work="$2" # caller-owned: kept for inspection
+else
+  work="$(mktemp -d)"
+  owned=1
+fi
+
+serve_pid=""
+cleanup() {
+  if [[ -n "$serve_pid" ]]; then
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+  fi
+  [[ "$owned" == 1 ]] && rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== building vcebench"
+go build -o "$work/vcebench" ./cmd/vcebench
+
+echo "== CLI reference run ($name, runs=$runs)"
+"$work/vcebench" -name "$name" -runs "$runs" -q -out "$work/cli" >/dev/null
+"$work/vcebench" -name "$name" -runs "$runs" -dump > "$work/spec.json"
+
+echo "== starting vcebench serve"
+"$work/vcebench" serve -addr 127.0.0.1:0 -cache-dir "$work/cache" \
+  2> "$work/serve.err" &
+serve_pid=$!
+
+# The daemon prints its resolved address (we asked for port 0).
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's!.*listening on http://\([^ ]*\) .*!\1!p' "$work/serve.err" | head -n1)"
+  [[ -n "$addr" ]] && break
+  sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+  echo "FAIL: daemon never printed its listen address" >&2
+  cat "$work/serve.err" >&2
+  exit 1
+fi
+echo "daemon up at $addr"
+
+submit() {
+  curl -sS -X POST --data-binary @"$work/spec.json" "http://$addr/sweeps"
+}
+
+wait_done() {
+  local id="$1"
+  for _ in $(seq 1 600); do
+    state="$(curl -sS "http://$addr/sweeps/$id" | jq -r .state)"
+    case "$state" in
+      done) return 0 ;;
+      failed)
+        echo "FAIL: sweep $id failed" >&2
+        curl -sS "http://$addr/sweeps/$id" >&2
+        return 1
+        ;;
+    esac
+    sleep 0.1
+  done
+  echo "FAIL: sweep $id never finished (state $state)" >&2
+  return 1
+}
+
+echo "== first submission (cold)"
+id1="$(submit | jq -r .id)"
+wait_done "$id1"
+cold="$(curl -sS "http://$addr/sweeps/$id1")"
+echo "cold: $(jq -c '{done, cached, simulated}' <<<"$cold")"
+
+echo "== second identical submission (must be all cache hits)"
+id2="$(submit | jq -r .id)"
+if [[ "$id2" == "$id1" ]]; then
+  echo "FAIL: second submission reused sweep id $id1" >&2
+  exit 1
+fi
+wait_done "$id2"
+warm="$(curl -sS "http://$addr/sweeps/$id2")"
+echo "warm: $(jq -c '{done, cached, simulated}' <<<"$warm")"
+if [[ "$(jq -r .simulated <<<"$warm")" != "0" ]]; then
+  echo "FAIL: second identical sweep still simulated (want 0 simulations)" >&2
+  exit 1
+fi
+if [[ "$(jq -r .cached <<<"$warm")" != "$(jq -r .total <<<"$warm")" ]]; then
+  echo "FAIL: second sweep did not replay every cell from the cache" >&2
+  exit 1
+fi
+echo "OK: second identical submission performed zero simulations"
+
+echo "== daemon report vs CLI report.json"
+curl -sS "http://$addr/sweeps/$id1/report" -o "$work/daemon-report.json"
+if ! cmp "$work/daemon-report.json" "$work/cli/report.json"; then
+  echo "FAIL: daemon report is not byte-identical to the CLI run" >&2
+  exit 1
+fi
+echo "OK: daemon report is byte-identical to the CLI run"
+
+echo "== /stats"
+curl -sS "http://$addr/stats" | jq .
+
+echo "== graceful shutdown on SIGTERM"
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+  echo "FAIL: daemon exited non-zero on SIGTERM" >&2
+  cat "$work/serve.err" >&2
+  exit 1
+fi
+serve_pid=""
+if ! grep -q 'sweep state persisted for resume' "$work/serve.err"; then
+  echo "FAIL: daemon did not report persisted state on shutdown" >&2
+  cat "$work/serve.err" >&2
+  exit 1
+fi
+echo "OK: daemon shut down cleanly; sweep state persisted"
+echo "PASS: service smoke"
