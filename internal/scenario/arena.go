@@ -1,0 +1,356 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"vce/internal/arch"
+	"vce/internal/sched"
+	"vce/internal/sim"
+	"vce/internal/workload"
+)
+
+// taskGen is one generated task of a run's shared workload: the sampled
+// draws (work size, constraint flag, arrival instant) that every matrix
+// cell of the same run index replays identically.
+type taskGen struct {
+	id          string
+	work        float64
+	arrival     time.Duration
+	constrained bool
+}
+
+// runArena is a per-worker reuse pool for executing (instance, run) cells.
+// One arena serves one worker of one sweep: cells arrive sequentially, so
+// nothing here is synchronized.
+//
+// It recycles two kinds of state:
+//
+//   - The generated world of a run index — machine specs, owner traces,
+//     task draws, fault schedules. Every cell of run k derives the
+//     identical world from (spec seed, k), so consecutive cells sharing a
+//     run index reuse the generated objects instead of re-deriving and
+//     reallocating them (the executor feeds jobs run-major to make such
+//     neighbours common).
+//   - The simulation substrate — the kernel, machine structs, pooled task
+//     records and every index-keyed scratch buffer. These reset in place
+//     between cells (Cluster.Reset, Task.Reset discipline), so steady-state
+//     sweep execution allocates per-event closures and policy scratch, not
+//     worlds.
+//
+// A nil arena in runInstance degenerates to a fresh single-use arena, which
+// IS the fresh-allocation path: the reuse-identity property (#9 in
+// internal/scenario/check) pins that both paths produce byte-identical
+// reports, so the recycling can be aggressive.
+type runArena struct {
+	// worldRun is 1+run of the cached generated world; 0 marks empty.
+	worldRun int
+	specs    []arch.Machine
+	slots    []int
+	// ownerSteps is the per-machine owner load trace of the cached run.
+	ownerSteps [][]sim.LoadStep
+	gens       []taskGen
+	// faultAt is the per-machine failure schedule of the cached run (repair
+	// instants reconstruct as fail + DownS).
+	faultAt [][]time.Duration
+
+	cluster  *sim.Cluster
+	machines []*sim.Machine
+
+	// ids caches the task ID strings ("task-%03d"), which are independent
+	// of both run and cell; taskIdx inverts them. tasks is the pooled task
+	// record storage — cells hand out &tasks[i] pointers and re-initialize
+	// the values in place.
+	ids     []string
+	taskIdx map[string]int
+	tasks   []sim.Task
+
+	// Per-cell scratch, index-keyed by machine or task index.
+	down       []bool
+	ownerLoad  []float64
+	attached   []bool
+	everPlaced []bool
+	waiting    []sched.Item
+	statesBuf  []sched.MachineState
+
+	// Candidate sets and the machine name index, stable across runs (the
+	// generated fleet's names and classes depend only on the spec).
+	machIdx     map[string]int
+	allNames    []string
+	allIDs      []int
+	pinnedNames []string
+	pinnedIDs   []int
+	pinnedFor   string
+
+	// Cached event closures, allocated once per arena position and replayed
+	// by every subsequent cell: scheduling a cell's owner steps, arrivals
+	// and faults then allocates nothing. Each closure reads current arena
+	// state at fire time (and dispatches per-cell behavior through the hooks
+	// below), so one closure is valid across worlds and cells; a world with
+	// fewer steps or tasks simply schedules a prefix of the cache.
+	ownerFns  [][]func()
+	arriveFns []func()
+	failFns   []func()
+	repairFns []func()
+
+	// Per-cell dispatch targets behind the cached closures; runInstance
+	// rebinds them before scheduling each cell's events.
+	submitHook func(i int)
+	failHook   func(mi int)
+	repairHook func(mi int)
+}
+
+// ownerFn returns the cached callback for machine mi's si-th owner-trace
+// step, growing the cache on first use.
+func (ar *runArena) ownerFn(mi, si int) func() {
+	for len(ar.ownerFns) <= mi {
+		ar.ownerFns = append(ar.ownerFns, nil)
+	}
+	fns := ar.ownerFns[mi]
+	for len(fns) <= si {
+		mi, si := mi, len(fns)
+		fns = append(fns, func() {
+			load := ar.ownerSteps[mi][si].Load
+			ar.ownerLoad[mi] = load
+			if !ar.down[mi] {
+				ar.machines[mi].SetLocalLoad(load)
+			}
+		})
+	}
+	ar.ownerFns[mi] = fns
+	return fns[si]
+}
+
+// arriveFn returns the cached arrival callback for task index i; it
+// dispatches to the cell's submitHook.
+func (ar *runArena) arriveFn(i int) func() {
+	for len(ar.arriveFns) <= i {
+		i := len(ar.arriveFns)
+		ar.arriveFns = append(ar.arriveFns, func() { ar.submitHook(i) })
+	}
+	return ar.arriveFns[i]
+}
+
+// failFn and repairFn return machine mi's cached fault callbacks. One
+// closure per machine suffices — every failure instant of a machine runs
+// the same body — so a fault schedule costs zero allocations to replay.
+func (ar *runArena) failFn(mi int) func() {
+	for len(ar.failFns) <= mi {
+		mi := len(ar.failFns)
+		ar.failFns = append(ar.failFns, func() { ar.failHook(mi) })
+	}
+	return ar.failFns[mi]
+}
+
+func (ar *runArena) repairFn(mi int) func() {
+	for len(ar.repairFns) <= mi {
+		mi := len(ar.repairFns)
+		ar.repairFns = append(ar.repairFns, func() { ar.repairHook(mi) })
+	}
+	return ar.repairFns[mi]
+}
+
+// ensureWorld makes the arena's cached world the one of (sp, run),
+// regenerating from the run's derived random streams on a cache miss. The
+// draw order within each derived stream is identical to a from-scratch
+// build, and the streams are derived by name (not consumed sequentially),
+// so replaying a cached world is indistinguishable from regenerating it.
+func (ar *runArena) ensureWorld(sp *Spec, run int, horizon time.Duration) error {
+	if ar.worldRun == run+1 {
+		return nil
+	}
+	ar.worldRun = 0
+	root := derivedStreams(sp, run)
+	specs, slots, err := generateMachines(sp.Machines, root.Derive("machines"))
+	if err != nil {
+		return err
+	}
+	ar.specs, ar.slots = specs, slots
+	nm := len(specs)
+
+	ar.ownerSteps = growSlices(ar.ownerSteps, nm)
+	if sp.Owner != nil {
+		ownerRng := root.Derive("owner")
+		for mi := 0; mi < nm; mi++ {
+			ar.ownerSteps[mi] = workload.BurstyTrace(ownerRng, horizon,
+				time.Duration(sp.Owner.MeanIdleS*float64(time.Second)),
+				time.Duration(sp.Owner.MeanBusyS*float64(time.Second)),
+				sp.Owner.BusyLoad)
+		}
+	}
+
+	n := sp.Workload.Tasks
+	for len(ar.ids) < n {
+		ar.ids = append(ar.ids, fmt.Sprintf("task-%03d", len(ar.ids)))
+	}
+	if cap(ar.gens) < n {
+		ar.gens = make([]taskGen, n)
+	}
+	ar.gens = ar.gens[:n]
+	workRng := root.Derive("work")
+	for i := range ar.gens {
+		ar.gens[i] = taskGen{id: ar.ids[i], work: sp.Workload.Work.Sample(workRng)}
+	}
+	if con := sp.Workload.Constrained; con != nil {
+		conRng := root.Derive("constraints")
+		for i := range ar.gens {
+			ar.gens[i].constrained = conRng.Bool(con.Fraction)
+		}
+	}
+	if sp.Workload.Arrivals.Kind == "poisson" {
+		arrRng := root.Derive("arrivals")
+		t := 0.0
+		for i := range ar.gens {
+			t += arrRng.ExpFloat64() / sp.Workload.Arrivals.RatePerS
+			ar.gens[i].arrival = time.Duration(t * float64(time.Second))
+		}
+	}
+
+	ar.faultAt = growSlices(ar.faultAt, nm)
+	if sp.Faults != nil {
+		faultRng := root.Derive("faults")
+		mtbf := sp.Faults.MTBFHours * 3600
+		downFor := time.Duration(sp.Faults.DownS * float64(time.Second))
+		for mi := 0; mi < nm; mi++ {
+			t := 0.0
+			for {
+				t += faultRng.ExpFloat64() * mtbf
+				at := time.Duration(t * float64(time.Second))
+				if at >= horizon {
+					break
+				}
+				ar.faultAt[mi] = append(ar.faultAt[mi], at)
+				t = (at + downFor).Seconds()
+			}
+		}
+	}
+	ar.worldRun = run + 1
+	return nil
+}
+
+// growSlices resizes a slice-of-slices to n entries with every inner slice
+// emptied in place (capacity kept).
+func growSlices[T any](s [][]T, n int) [][]T {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([][]T, n-cap(s))...)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+// resetBools resizes a bool scratch slice to n with every entry false.
+func resetBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// resetFloats resizes a float scratch slice to n with every entry zero.
+func resetFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// ensureCluster provides a cluster whose registered fleet matches the
+// arena's cached world: a fresh build on first use, Cluster.Reset (plus
+// ReplaceSpecs when the run changed) afterwards. It reports whether the
+// fleet objects were rebuilt, which invalidates cached candidate sets.
+func (ar *runArena) ensureCluster(worldFresh bool) (rebuilt bool, err error) {
+	if ar.cluster != nil {
+		ar.cluster.Reset()
+		if !worldFresh {
+			return false, nil
+		}
+		if err := ar.cluster.ReplaceSpecs(ar.specs); err == nil {
+			return false, nil
+		}
+		// The fleet shape moved (it cannot within one sweep, but the arena
+		// does not get to assume its caller): fall through to a rebuild.
+		ar.cluster = nil
+	}
+	ar.cluster = sim.NewCluster()
+	ar.machines = ar.machines[:0]
+	for _, mspec := range ar.specs {
+		m, err := ar.cluster.AddMachine(mspec)
+		if err != nil {
+			return true, err
+		}
+		ar.machines = append(ar.machines, m)
+	}
+	return true, nil
+}
+
+// ensureCandidates builds the placement candidate sets (names plus dense
+// machine ids, and the name→index lookup) once per fleet: the generated
+// machine names and classes depend only on the spec, so these survive both
+// run changes and cell changes.
+func (ar *runArena) ensureCandidates(sp *Spec, rebuilt bool) error {
+	if rebuilt || len(ar.allNames) != len(ar.machines) {
+		ar.allNames = ar.allNames[:0]
+		ar.allIDs = ar.allIDs[:0]
+		if ar.machIdx == nil {
+			ar.machIdx = make(map[string]int, len(ar.machines))
+		} else {
+			clear(ar.machIdx)
+		}
+		for i, m := range ar.machines {
+			ar.allNames = append(ar.allNames, m.Name())
+			ar.allIDs = append(ar.allIDs, m.Index())
+			ar.machIdx[m.Name()] = i
+		}
+		ar.pinnedFor = ""
+	}
+	if con := sp.Workload.Constrained; con != nil && ar.pinnedFor != con.Class {
+		class, err := arch.ParseClass(con.Class)
+		if err != nil {
+			return err
+		}
+		ar.pinnedNames = ar.pinnedNames[:0]
+		ar.pinnedIDs = ar.pinnedIDs[:0]
+		for _, m := range ar.machines {
+			if m.Spec.Class == class {
+				ar.pinnedNames = append(ar.pinnedNames, m.Name())
+				ar.pinnedIDs = append(ar.pinnedIDs, m.Index())
+			}
+		}
+		ar.pinnedFor = con.Class
+	}
+	return nil
+}
+
+// prepCell sizes and clears the per-cell scratch buffers and the pooled
+// task records' index. Task values themselves are re-initialized by the
+// caller (they need the cell's completion callback).
+func (ar *runArena) prepCell() {
+	n := len(ar.gens)
+	nm := len(ar.machines)
+	ar.down = resetBools(ar.down, nm)
+	ar.ownerLoad = resetFloats(ar.ownerLoad, nm)
+	ar.attached = resetBools(ar.attached, n)
+	ar.everPlaced = resetBools(ar.everPlaced, n)
+	ar.waiting = ar.waiting[:0]
+	if cap(ar.tasks) < n {
+		ar.tasks = make([]sim.Task, n)
+	}
+	ar.tasks = ar.tasks[:n]
+	if len(ar.taskIdx) != n {
+		ar.taskIdx = make(map[string]int, n)
+		for i := 0; i < n; i++ {
+			ar.taskIdx[ar.ids[i]] = i
+		}
+	}
+}

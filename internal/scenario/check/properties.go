@@ -55,6 +55,11 @@ func properties() []property {
 			check: cacheWarmIdentity,
 		},
 		{
+			name:  "arena-reuse-identity",
+			doc:   "per-worker world recycling replays the fresh-build report byte-identically",
+			check: arenaReuseIdentity,
+		},
+		{
 			name:  "cell-permutation",
 			doc:   "permuting the policy matrix permutes cells without changing any cell's runs",
 			check: cellPermutation,
@@ -198,6 +203,35 @@ func cacheWarmIdentity(ctx context.Context, sp *scenario.Spec, workers int) erro
 	}
 	if !bytes.Equal(cold, warm) {
 		return fmt.Errorf("warm-cache report differs from the cold report")
+	}
+	return nil
+}
+
+// arenaReuseIdentity pins the run arena's recycling contract: a sweep
+// executed with per-worker world and substrate reuse (the default) must
+// produce the byte-identical report of one that builds every cell from
+// scratch (Options.FreshWorlds). One worker funnels every cell through a
+// single arena — the maximally-recycled schedule, where any state leaking
+// across a Reset would compound — and the multi-worker pass exercises reuse
+// under whatever job interleaving the scheduler happens to deal.
+func arenaReuseIdentity(ctx context.Context, sp *scenario.Spec, workers int) error {
+	fresh, _, err := reportBytes(ctx, sp, scenario.Options{Workers: 1, FreshWorlds: true})
+	if err != nil {
+		return err
+	}
+	reused, _, err := reportBytes(ctx, sp, scenario.Options{Workers: 1})
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(fresh, reused) {
+		return fmt.Errorf("recycled-arena report differs from the fresh-build report at 1 worker")
+	}
+	reusedPar, _, err := reportBytes(ctx, sp, scenario.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(fresh, reusedPar) {
+		return fmt.Errorf("recycled-arena report differs from the fresh-build report at %d workers", workers)
 	}
 	return nil
 }

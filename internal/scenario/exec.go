@@ -112,6 +112,12 @@ type Options struct {
 	// for the sweep — a cache hit skips exactly the simulation the audit
 	// exists to watch.
 	Audit bool
+	// FreshWorlds disables the per-worker run arena: every cell builds its
+	// world and simulation substrate from scratch instead of recycling the
+	// previous cell's. The report is byte-identical either way (the
+	// arena-reuse-identity property pins it); this switch exists for that
+	// property's harness and for bisecting, not for production sweeps.
+	FreshWorlds bool
 }
 
 // job and outcome are the executor's fan-out and fan-in records; cell and
@@ -167,10 +173,18 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 		return nil, err
 	}
 	insts := sp.Instances()
+	// Jobs are enumerated run-major: every cell of run 0, then every cell of
+	// run 1, and so on. Consecutive jobs on a worker then usually share a run
+	// index, which is exactly what the per-worker arena's world cache wants —
+	// the generated world of run k is derived once and replayed for each
+	// matrix cell. The report is order-independent (fan-in is grid-indexed),
+	// and the shard split keys on the flattened position, so the partition
+	// stays deterministic in (spec, N) — it just slices a run-major flattening
+	// now instead of a cell-major one.
 	jobs := make([]job, 0, len(insts)*sp.Runs)
 	pos := 0
-	for cell := range insts {
-		for run := 0; run < sp.Runs; run++ {
+	for run := 0; run < sp.Runs; run++ {
+		for cell := range insts {
 			if opts.Shard.Count > 1 && pos%opts.Shard.Count != opts.Shard.Index {
 				pos++
 				continue
@@ -220,6 +234,13 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 		// track (setup/execute/merge spans).
 		go func(lane int) {
 			defer wg.Done()
+			// Each worker owns one run arena for its whole lifetime: worlds
+			// and simulation substrate recycle across the jobs it executes,
+			// and nothing in the arena is shared between workers.
+			var ar *runArena
+			if !opts.FreshWorlds {
+				ar = new(runArena)
+			}
 			// The send never blocks forever: the fan-in below drains outCh
 			// until it closes, so every started job delivers its outcome
 			// even after cancellation — dropping outcomes here would make
@@ -252,7 +273,7 @@ func RunContext(ctx context.Context, spec *Spec, opts Options) (*Report, error) 
 				if rec != nil {
 					tr = new(obs.RunTrace)
 				}
-				idx, err := runInstance(ctx, insts[j.cell], j.run, opts.Audit, tr)
+				idx, err := runInstance(ctx, insts[j.cell], j.run, opts.Audit, tr, ar)
 				if err == nil && cache != nil {
 					// Best-effort write-through: a read-only or full cache
 					// directory costs reuse, not correctness — but it must

@@ -6,7 +6,6 @@ import (
 	"strings"
 	"time"
 
-	"vce/internal/arch"
 	"vce/internal/compilemgr"
 	"vce/internal/loadbalance"
 	"vce/internal/metrics"
@@ -18,7 +17,6 @@ import (
 	"vce/internal/sim"
 	"vce/internal/taskgraph"
 	"vce/internal/vtime"
-	"vce/internal/workload"
 )
 
 // Indexes are the comparison indexes of one run: what the analyzer
@@ -106,7 +104,7 @@ func (e *AuditError) Error() string {
 // *AuditError. The auditor observes without perturbing, so a clean audited
 // run returns indexes bitwise-identical to RunInstanceContext.
 func RunInstanceAudited(ctx context.Context, inst Instance, run int) (Indexes, error) {
-	return runInstance(ctx, inst, run, true, nil)
+	return runInstance(ctx, inst, run, true, nil, nil)
 }
 
 // RunInstanceContext is RunInstance under a context: a cancelled or expired
@@ -118,7 +116,7 @@ func RunInstanceAudited(ctx context.Context, inst Instance, run int) (Indexes, e
 // indexes bitwise-identical to RunInstance: the probe events observe the
 // simulation without mutating it or consuming random draws.
 func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, error) {
-	return runInstance(ctx, inst, run, false, nil)
+	return runInstance(ctx, inst, run, false, nil, nil)
 }
 
 // runInstance is the shared body of RunInstanceContext and
@@ -128,7 +126,11 @@ func RunInstanceContext(ctx context.Context, inst Instance, run int) (Indexes, e
 // sweep recorder. Telemetry only observes — with tr == nil (the default
 // and the production path) no clock is read and the kernel's stats hook
 // stays detached, and either way the returned Indexes are identical.
-func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *obs.RunTrace) (Indexes, error) {
+//
+// A non-nil ar recycles world and simulation state across calls (see
+// runArena); nil builds everything fresh. Both paths run this one body and
+// produce identical indexes — the reuse-identity property pins it.
+func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *obs.RunTrace, ar *runArena) (Indexes, error) {
 	var kstats vtime.Stats
 	var phaseAt time.Time
 	if tr != nil {
@@ -141,11 +143,28 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	if err := ctx.Err(); err != nil {
 		return Indexes{}, err
 	}
-	root := derivedStreams(sp, run)
 	horizon := time.Duration(sp.HorizonS * float64(time.Second))
 
-	// ---- world generation (shared across matrix cells) ----
-	c := sim.NewCluster()
+	// ---- world generation (shared across matrix cells, cached per run
+	// index in the arena; a single-use arena is the fresh path) ----
+	if ar == nil {
+		ar = new(runArena)
+	}
+	worldFresh := ar.worldRun != run+1
+	if err := ar.ensureWorld(sp, run, horizon); err != nil {
+		return Indexes{}, err
+	}
+	rebuilt, err := ar.ensureCluster(worldFresh)
+	if err != nil {
+		return Indexes{}, err
+	}
+	if err := ar.ensureCandidates(sp, rebuilt); err != nil {
+		return Indexes{}, err
+	}
+	ar.prepCell()
+	c := ar.cluster
+	machines := ar.machines
+	gens := ar.gens
 	if tr != nil {
 		c.Sim.SetStats(&kstats)
 	}
@@ -153,18 +172,6 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 		Latency:   time.Duration(sp.Machines.LatencyMs * float64(time.Millisecond)),
 		Bandwidth: sp.Machines.BandwidthMiBps * (1 << 20),
 	})
-	specs, slots, err := generateMachines(sp.Machines, root.Derive("machines"))
-	if err != nil {
-		return Indexes{}, err
-	}
-	machines := make([]*sim.Machine, len(specs))
-	for i, mspec := range specs {
-		m, err := c.AddMachine(mspec)
-		if err != nil {
-			return Indexes{}, err
-		}
-		machines[i] = m
-	}
 
 	// An audited run re-derives the kernel's accounting invariants alongside
 	// the simulation; the auditor only observes, so indexes are unchanged.
@@ -178,54 +185,17 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	// trace step during an outage is deferred instead of reviving the
 	// machine. Both are keyed by Machine.Index: these are consulted on
 	// every machine-change notification, so no name hashing on that path.
-	down := make([]bool, len(machines))
-	ownerLoad := make([]float64, len(machines))
+	down := ar.down
+	ownerLoad := ar.ownerLoad
 	if sp.Owner != nil {
-		ownerRng := root.Derive("owner")
-		for mi, m := range machines {
-			mi, m := mi, m
-			steps := workload.BurstyTrace(ownerRng, horizon,
-				time.Duration(sp.Owner.MeanIdleS*float64(time.Second)),
-				time.Duration(sp.Owner.MeanBusyS*float64(time.Second)),
-				sp.Owner.BusyLoad)
-			for _, s := range steps {
-				load := s.Load
-				c.Sim.At(s.At, func() {
-					ownerLoad[mi] = load
-					if !down[mi] {
-						m.SetLocalLoad(load)
-					}
-				})
+		for mi := range machines {
+			for si, s := range ar.ownerSteps[mi] {
+				c.Sim.At(s.At, ar.ownerFn(mi, si))
 			}
 		}
 	}
 
-	workRng := root.Derive("work")
 	imageBytes := int64(sp.Workload.ImageMiB * (1 << 20))
-	type taskGen struct {
-		id          string
-		work        float64
-		arrival     time.Duration
-		constrained bool
-	}
-	gens := make([]taskGen, sp.Workload.Tasks)
-	for i := range gens {
-		gens[i] = taskGen{id: fmt.Sprintf("task-%03d", i), work: sp.Workload.Work.Sample(workRng)}
-	}
-	if con := sp.Workload.Constrained; con != nil {
-		conRng := root.Derive("constraints")
-		for i := range gens {
-			gens[i].constrained = conRng.Bool(con.Fraction)
-		}
-	}
-	if sp.Workload.Arrivals.Kind == "poisson" {
-		arrRng := root.Derive("arrivals")
-		t := 0.0
-		for i := range gens {
-			t += arrRng.ExpFloat64() / sp.Workload.Arrivals.RatePerS
-			gens[i].arrival = time.Duration(t * float64(time.Second))
-		}
-	}
 
 	// ---- per-cell state ----
 	idx := Indexes{}
@@ -270,33 +240,20 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	// ---- scheduling loop ----
 	// Portable tasks accept every machine; constrained tasks only their
 	// pinned class. Candidate sets carry both names and Machine.Index ids
-	// (same order) so the placement policies take their hash-free path.
-	allNames := make([]string, len(machines))
-	allIDs := make([]int, len(machines))
-	for i, m := range machines {
-		allNames[i] = m.Name()
-		allIDs[i] = m.Index()
-	}
-	var pinnedNames []string
-	var pinnedIDs []int
-	if con := sp.Workload.Constrained; con != nil {
-		class, err := arch.ParseClass(con.Class)
-		if err != nil {
-			return Indexes{}, err
+	// (same order) so the placement policies take their hash-free path; the
+	// sets live in the arena because the generated fleet's names and classes
+	// are spec-determined, stable across cells and runs.
+	slots := ar.slots
+	tasks := ar.tasks
+	candsFor := func(i int) ([]string, []int) {
+		if gens[i].constrained {
+			return ar.pinnedNames, ar.pinnedIDs
 		}
-		for _, m := range machines {
-			if m.Spec.Class == class {
-				pinnedNames = append(pinnedNames, m.Name())
-				pinnedIDs = append(pinnedIDs, m.Index())
-			}
-		}
+		return ar.allNames, ar.allIDs
 	}
-	candOf := make(map[string][]string)
-	candIDsOf := make(map[string][]int)
-	attached := make(map[string]bool)
-	everPlaced := make(map[string]bool)
-	var waiting []sched.Item
-	taskByID := make(map[string]*sim.Task)
+	attached := ar.attached
+	everPlaced := ar.everPlaced
+	waiting := ar.waiting
 	var completedSum float64
 	var makespan time.Duration
 
@@ -309,7 +266,7 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	placeAgain := false
 	// statesBuf is reused across placement passes: Place snapshots the
 	// machine states it needs, so the buffer is dead once Place returns.
-	var statesBuf []sched.MachineState
+	statesBuf := ar.statesBuf
 	var tryPlace func()
 	tryPlace = func() {
 		if placing {
@@ -341,25 +298,21 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 			placed, left := pol.Place(waiting, states)
 			waiting = left
 			for _, a := range placed {
-				t := taskByID[string(a.Task)]
-				var host *sim.Machine
-				for _, m := range machines {
-					if m.Name() == a.Machine {
-						host = m
-						break
-					}
-				}
-				if host == nil {
+				ti := ar.taskIdx[string(a.Task)]
+				t := &tasks[ti]
+				hi, ok := ar.machIdx[a.Machine]
+				if !ok {
 					continue
 				}
-				if err := host.AddTask(t); err != nil {
+				if err := machines[hi].AddTask(t); err != nil {
 					// Placement raced a policy callback; requeue.
-					waiting = append(waiting, sched.Item{Task: a.Task, Candidates: candOf[t.ID], CandidateIDs: candIDsOf[t.ID], Work: t.Remaining()})
+					cands, ids := candsFor(ti)
+					waiting = append(waiting, sched.Item{Task: a.Task, Candidates: cands, CandidateIDs: ids, Work: t.Remaining()})
 					continue
 				}
-				everPlaced[t.ID] = true
-				if ck != nil && t.Checkpointable && !attached[t.ID] {
-					attached[t.ID] = true
+				everPlaced[ti] = true
+				if ck != nil && t.Checkpointable && !attached[ti] {
+					attached[ti] = true
 					_ = ck.Attach(c, t)
 				}
 			}
@@ -369,38 +322,36 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 		}
 	}
 
-	submit := func(g taskGen) {
-		t := &sim.Task{
+	// One completion callback shared by every task of the cell: the pooled
+	// task records are re-initialized per cell, but the closure itself is
+	// identical across them, so tasks never carry per-task closures.
+	onDone := func(_ *sim.Task, at time.Duration) {
+		idx.Completed++
+		completedSum += at.Seconds()
+		if at > makespan {
+			makespan = at
+		}
+		tryPlace()
+	}
+	ar.submitHook = func(i int) {
+		g := &gens[i]
+		tasks[i] = sim.Task{
 			ID:             g.id,
 			Work:           g.work,
 			ImageBytes:     imageBytes,
 			Checkpointable: sp.Workload.Checkpointable,
-			OnDone: func(_ *sim.Task, at time.Duration) {
-				idx.Completed++
-				completedSum += at.Seconds()
-				if at > makespan {
-					makespan = at
-				}
-				tryPlace()
-			},
+			OnDone:         onDone,
 		}
-		taskByID[g.id] = t
-		cands, ids := allNames, allIDs
-		if g.constrained {
-			cands, ids = pinnedNames, pinnedIDs
-		}
-		candOf[g.id] = cands
-		candIDsOf[g.id] = ids
+		cands, ids := candsFor(i)
 		waiting = append(waiting, sched.Item{Task: taskgraph.TaskID(g.id), Candidates: cands, CandidateIDs: ids, Work: g.work})
 		tryPlace()
 	}
-	for _, g := range gens {
-		g := g
-		if g.arrival >= horizon {
+	for i := range gens {
+		if gens[i].arrival >= horizon {
 			idx.Rejected++ // never arrives inside the horizon
 			continue
 		}
-		c.Sim.At(g.arrival, func() { submit(g) })
+		c.Sim.At(gens[i].arrival, ar.arriveFn(i))
 	}
 
 	// Owner departures free machines: retry placement on load drops.
@@ -411,53 +362,50 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	})
 
 	// ---- fault injection ----
+	// Failure instants replay from the arena's cached fault schedule (same
+	// derived stream, same draws as a fresh build); repairs reconstruct as
+	// fail + DownS, preserving the fail/repair event interleaving.
 	if sp.Faults != nil {
-		faultRng := root.Derive("faults")
-		mtbf := sp.Faults.MTBFHours * 3600
 		downFor := time.Duration(sp.Faults.DownS * float64(time.Second))
-		for mi, m := range machines {
-			mi, m := mi, m
-			t := 0.0
-			for {
-				t += faultRng.ExpFloat64() * mtbf
-				at := time.Duration(t * float64(time.Second))
-				if at >= horizon {
-					break
+		ar.failHook = func(mi int) {
+			if down[mi] {
+				return
+			}
+			down[mi] = true
+			m := machines[mi]
+			for _, victim := range m.Tasks() {
+				killed, err := m.Kill(victim.ID)
+				if err != nil {
+					continue
 				}
-				c.Sim.At(at, func() {
-					if down[mi] {
-						return
-					}
-					down[mi] = true
-					for _, victim := range m.Tasks() {
-						killed, err := m.Kill(victim.ID)
-						if err != nil {
-							continue
-						}
-						idx.Failed++
-						// Restart from the last checkpoint (scratch if none).
-						_ = killed.Rewind(killed.CheckpointedWork)
-						waiting = append(waiting, sched.Item{
-							Task: taskgraph.TaskID(killed.ID), Candidates: candOf[killed.ID],
-							CandidateIDs: candIDsOf[killed.ID], Work: killed.Remaining(),
-						})
-					}
-					m.SetLocalLoad(1)
-					// Surviving machines may have free slots for the
-					// requeued victims; don't wait for an unrelated event.
-					tryPlace()
+				idx.Failed++
+				// Restart from the last checkpoint (scratch if none).
+				_ = killed.Rewind(killed.CheckpointedWork)
+				cands, ids := candsFor(ar.taskIdx[killed.ID])
+				waiting = append(waiting, sched.Item{
+					Task: taskgraph.TaskID(killed.ID), Candidates: cands,
+					CandidateIDs: ids, Work: killed.Remaining(),
 				})
+			}
+			m.SetLocalLoad(1)
+			// Surviving machines may have free slots for the
+			// requeued victims; don't wait for an unrelated event.
+			tryPlace()
+		}
+		ar.repairHook = func(mi int) {
+			down[mi] = false
+			// Hand the machine back to its owner at the owner trace's
+			// current level, not blanket idle.
+			machines[mi].SetLocalLoad(ownerLoad[mi])
+			tryPlace()
+		}
+		for mi := range machines {
+			for _, at := range ar.faultAt[mi] {
+				c.Sim.At(at, ar.failFn(mi))
 				repairAt := at + downFor
 				if repairAt < horizon {
-					c.Sim.At(repairAt, func() {
-						down[mi] = false
-						// Hand the machine back to its owner at the
-						// owner trace's current level, not blanket idle.
-						m.SetLocalLoad(ownerLoad[mi])
-						tryPlace()
-					})
+					c.Sim.At(repairAt, ar.repairFn(mi))
 				}
-				t = repairAt.Seconds()
 			}
 		}
 	}
@@ -518,10 +466,13 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	// stranded in the queue at the horizon were placed once and already show
 	// up in Failed, not here.
 	for _, it := range waiting {
-		if !everPlaced[string(it.Task)] {
+		if !everPlaced[ar.taskIdx[string(it.Task)]] {
 			idx.Rejected++
 		}
 	}
+	// Hand the grown scratch capacity back to the arena for the next cell.
+	ar.waiting = waiting
+	ar.statesBuf = statesBuf
 	if makespan == 0 {
 		makespan = end
 	}

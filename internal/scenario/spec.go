@@ -225,13 +225,16 @@ func MigrationNames() []string {
 	return []string{"none", "suspend", "address-space", "checkpoint", "recompile", "adaptive"}
 }
 
-// newSchedPolicy resolves a scheduling policy name.
+// newSchedPolicy resolves a scheduling policy name. The New constructors
+// return scratch-carrying policies: one cell's placement rounds run
+// serially over one policy value, so repeated Place calls recycle their
+// round buffers instead of allocating.
 func newSchedPolicy(name string) (sched.Policy, error) {
 	switch name {
 	case "greedy-best-fit":
-		return sched.GreedyBestFit{}, nil
+		return sched.NewGreedyBestFit(), nil
 	case "utilization-first":
-		return sched.UtilizationFirst{}, nil
+		return sched.NewUtilizationFirst(), nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown scheduling policy %q (want one of %s)",
 			name, strings.Join(SchedPolicyNames(), ", "))

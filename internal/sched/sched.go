@@ -132,21 +132,80 @@ type Policy interface {
 	Place(items []Item, machines []MachineState) ([]Assignment, []Item)
 }
 
+// placeScratch is a policy's reusable round storage: the id-resolution
+// table, the ordering permutation, and the output buffers. Policies built
+// with their New constructors carry one and place rounds allocation-free in
+// steady state; zero-value policies (scratch == nil) allocate per round,
+// which is fine for one-shot callers.
+//
+// The output Item buffer is double-buffered because of how batch callers
+// loop: round N's waiting output is round N+1's items input, so the policy
+// must never write an output over the slice it is still reading.
+// Assignments have no such feedback (callers consume them before the next
+// round), so one buffer suffices.
+type placeScratch struct {
+	byIndex []*MachineState
+	order   []int
+	placed  []Assignment
+	items   [2][]Item
+	flip    int
+}
+
+// outBuffers returns empty placed/waiting buffers for one round, reusing the
+// scratch's storage when present. Neither can outgrow its initial capacity
+// (placements are bounded by placeCap, waiting by the items offered), so the
+// returned headers stay backed by the scratch.
+func outBuffers(s *placeScratch, items []Item, machines []MachineState) ([]Assignment, []Item) {
+	pc := placeCap(items, machines)
+	if s == nil {
+		return make([]Assignment, 0, pc), make([]Item, 0, len(items))
+	}
+	if cap(s.placed) < pc {
+		s.placed = make([]Assignment, 0, pc)
+	}
+	s.flip ^= 1
+	if cap(s.items[s.flip]) < len(items) {
+		s.items[s.flip] = make([]Item, 0, len(items))
+	}
+	return s.placed[:0], s.items[s.flip][:0]
+}
+
+// orderBuf returns an empty ordering buffer of capacity >= n from the
+// scratch, or a fresh one without it.
+func orderBuf(s *placeScratch, n int) []int {
+	if s == nil || cap(s.order) < n {
+		o := make([]int, 0, n)
+		if s != nil {
+			s.order = o
+		}
+		return o
+	}
+	return s.order[:0]
+}
+
 // GreedyBestFit optimizes each job in isolation: every item takes the
 // fastest, least-loaded admissible machine available. This is the baseline
 // §4.3 argues against — it will burn the uniquely-capable "machine A" on a
 // task that could run anywhere.
-type GreedyBestFit struct{}
+//
+// The zero value is a valid policy that allocates its round state per Place
+// call; NewGreedyBestFit returns one with reusable scratch for
+// placement-per-event callers like the scenario engine.
+type GreedyBestFit struct{ scratch *placeScratch }
+
+// NewGreedyBestFit returns the policy with reusable round scratch: repeated
+// Place calls share buffers instead of allocating. The returned value (and
+// its copies) must then not place concurrently with itself.
+func NewGreedyBestFit() GreedyBestFit { return GreedyBestFit{scratch: new(placeScratch)} }
 
 // Name implements Policy.
 func (GreedyBestFit) Name() string { return "greedy-best-fit" }
 
 // Place implements Policy.
-func (GreedyBestFit) Place(items []Item, machines []MachineState) ([]Assignment, []Item) {
-	round := newRound(machines)
+func (p GreedyBestFit) Place(items []Item, machines []MachineState) ([]Assignment, []Item) {
+	round := newRound(machines, p.scratch)
 	var cache candidateCache
-	placed := make([]Assignment, 0, placeCap(items, machines))
-	waiting := make([]Item, 0, len(items))
+	placed, waiting := outBuffers(p.scratch, items, machines)
 	for _, it := range items {
 		best := pickBest(it, &round, &cache, false)
 		if best == nil {
@@ -170,14 +229,23 @@ func (GreedyBestFit) Place(items []Item, machines []MachineState) ([]Assignment,
 // items, waiting instead if no other machine is free — the §4.3 example where
 // the portable task yields machine A and "should be made to wait" because it
 // "can be used to occupy a workstation if one becomes idle."
-type UtilizationFirst struct{}
+//
+// Like GreedyBestFit, the zero value allocates per round and
+// NewUtilizationFirst returns the scratch-carrying variant.
+type UtilizationFirst struct{ scratch *placeScratch }
+
+// NewUtilizationFirst returns the policy with reusable round scratch; see
+// NewGreedyBestFit.
+func NewUtilizationFirst() UtilizationFirst {
+	return UtilizationFirst{scratch: new(placeScratch)}
+}
 
 // Name implements Policy.
 func (UtilizationFirst) Name() string { return "utilization-first" }
 
 // Place implements Policy.
-func (UtilizationFirst) Place(items []Item, machines []MachineState) ([]Assignment, []Item) {
-	round := newRound(machines)
+func (p UtilizationFirst) Place(items []Item, machines []MachineState) ([]Assignment, []Item) {
+	round := newRound(machines, p.scratch)
 	var cache candidateCache
 	// A machine's scarce count tracks waiting constrained items for which
 	// it is the only candidate. Names absent from the snapshot are skipped
@@ -220,7 +288,7 @@ func (UtilizationFirst) Place(items []Item, machines []MachineState) ([]Assignme
 		if lenB < lenA {
 			small = lenB
 		}
-		order = make([]int, 0, len(items))
+		order = orderBuf(p.scratch, len(items))
 		for i := range items {
 			if len(items[i].Candidates) == small {
 				order = append(order, i)
@@ -232,7 +300,7 @@ func (UtilizationFirst) Place(items []Item, machines []MachineState) ([]Assignme
 			}
 		}
 	default:
-		order = make([]int, len(items))
+		order = orderBuf(p.scratch, len(items))[:len(items)]
 		for i := range order {
 			order[i] = i
 		}
@@ -241,8 +309,7 @@ func (UtilizationFirst) Place(items []Item, machines []MachineState) ([]Assignme
 		})
 	}
 
-	placed := make([]Assignment, 0, placeCap(items, machines))
-	waiting := make([]Item, 0, len(items))
+	placed, waiting := outBuffers(p.scratch, items, machines)
 	for pos := range items {
 		idx := pos
 		if order != nil {
@@ -276,10 +343,11 @@ type roundState struct {
 	backing []MachineState
 	byName  map[string]*MachineState
 	byIndex []*MachineState
+	scratch *placeScratch
 }
 
-func newRound(machines []MachineState) roundState {
-	return roundState{backing: machines}
+func newRound(machines []MachineState, s *placeScratch) roundState {
+	return roundState{backing: machines, scratch: s}
 }
 
 // positional reports whether cands names the snapshot's machines in order.
@@ -319,7 +387,17 @@ func (r *roundState) byID(id int) *MachineState {
 				max = r.backing[i].Index
 			}
 		}
-		r.byIndex = make([]*MachineState, max+1)
+		if s := r.scratch; s != nil && cap(s.byIndex) >= max+1 {
+			r.byIndex = s.byIndex[:max+1]
+			for i := range r.byIndex {
+				r.byIndex[i] = nil
+			}
+		} else {
+			r.byIndex = make([]*MachineState, max+1)
+			if s != nil {
+				s.byIndex = r.byIndex
+			}
+		}
 		for i := range r.backing {
 			r.byIndex[r.backing[i].Index] = &r.backing[i]
 		}

@@ -46,70 +46,80 @@ func BenchmarkClusterHour(b *testing.B) {
 }
 
 // BenchmarkSimHotPath measures the full event hot path at fleet scale:
-// 1k–10k processor-sharing machines with two churning task slots each plus
+// 1k–100k processor-sharing machines with two churning task slots each plus
 // periodic owner-load steps, hundreds of thousands of kernel events per
 // iteration. This is the simulator-throughput number the scenario engine's
 // sweep capacity is built on; events/sec is the headline metric.
+//
+// The world is built once per size and recycled with Cluster.Reset between
+// iterations — the arena discipline the scenario executor runs under — so
+// the loop measures steady-state kernel cost, not world construction. Task
+// records are pooled values whose completion closures are bound once: churn
+// re-arms a finished record via Task.Reset + AddTask, allocation-free.
 func BenchmarkSimHotPath(b *testing.B) {
 	configs := []struct {
 		machines int
 		horizon  time.Duration
+		steps    []LoadStep
 	}{
-		{1000, time.Hour},
-		{10000, 15 * time.Minute},
+		{1000, time.Hour, []LoadStep{{At: 5 * time.Minute, Load: 0.4}, {At: 10 * time.Minute, Load: 0}}},
+		{10000, 15 * time.Minute, []LoadStep{{At: 5 * time.Minute, Load: 0.4}, {At: 10 * time.Minute, Load: 0}}},
+		// The 100k-machine world: the fleet scale the arena layer exists
+		// for. A shorter horizon keeps the per-iteration event count in the
+		// same range as the smaller rows.
+		{100000, 5 * time.Minute, []LoadStep{{At: 2 * time.Minute, Load: 0.4}, {At: 4 * time.Minute, Load: 0}}},
 	}
 	for _, cfg := range configs {
 		cfg := cfg
 		b.Run(fmt.Sprintf("machines=%d", cfg.machines), func(b *testing.B) {
 			const slots = 2
-			// Task IDs are reused across generations (a slot's successor
-			// arrives only after its predecessor left), so spawning is
-			// Sprintf-free and the loop measures kernel cost.
-			ids := make([][slots]string, cfg.machines)
-			names := make([]string, cfg.machines)
-			for j := range ids {
-				names[j] = fmt.Sprintf("m%05d", j)
+			c := NewCluster()
+			machines := make([]*Machine, cfg.machines)
+			for j := range machines {
+				m, err := c.AddMachine(arch.Machine{
+					Name: fmt.Sprintf("m%05d", j), Class: arch.Workstation, Speed: 1, OS: "unix",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				machines[j] = m
+			}
+			// Pooled task records with once-bound completion closures: a
+			// completion inside the horizon resets the record and re-adds
+			// it, so steady churn is Sprintf- and closure-free.
+			tasks := make([]Task, cfg.machines*slots)
+			for j, m := range machines {
 				for k := 0; k < slots; k++ {
-					ids[j][k] = fmt.Sprintf("m%05d-s%d", j, k)
+					t := &tasks[j*slots+k]
+					m := m
+					t.ID = fmt.Sprintf("m%05d-s%d", j, k)
+					t.Work = float64(40 + 20*k)
+					t.OnDone = func(t *Task, at time.Duration) {
+						if at < cfg.horizon {
+							_ = t.Reset()
+							_ = m.AddTask(t)
+						}
+					}
 				}
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			var events int64
 			for i := 0; i < b.N; i++ {
-				c := NewCluster()
-				machines := make([]*Machine, cfg.machines)
-				for j := range machines {
-					m, err := c.AddMachine(arch.Machine{
-						Name: names[j], Class: arch.Workstation, Speed: 1, OS: "unix",
-					})
-					if err != nil {
-						b.Fatal(err)
-					}
-					machines[j] = m
-				}
-				var spawn func(m *Machine, j, k int)
-				spawn = func(m *Machine, j, k int) {
-					_ = m.AddTask(&Task{
-						ID: ids[j][k], Work: float64(40 + 20*k),
-						OnDone: func(_ *Task, at time.Duration) {
-							if at < cfg.horizon {
-								spawn(m, j, k)
-							}
-						},
-					})
-				}
+				c.Reset()
 				for j, m := range machines {
 					for k := 0; k < slots; k++ {
-						spawn(m, j, k)
+						t := &tasks[j*slots+k]
+						if err := t.Reset(); err != nil {
+							b.Fatal(err)
+						}
+						if err := m.AddTask(t); err != nil {
+							b.Fatal(err)
+						}
 					}
 					// Owner activity steps exercise the O(1) advance +
 					// reschedule path against resident tasks.
-					steps := []LoadStep{
-						{At: 5 * time.Minute, Load: 0.4},
-						{At: 10 * time.Minute, Load: 0},
-					}
-					if err := c.PlayLoadTrace(m.Name(), steps); err != nil {
+					if err := c.PlayLoadTrace(m.Name(), cfg.steps); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -58,7 +58,7 @@ func (c *Cluster) AddMachine(spec arch.Machine) (*Machine, error) {
 	if _, dup := c.machines[spec.Name]; dup {
 		return nil, fmt.Errorf("sim: duplicate machine %q", spec.Name)
 	}
-	m := &Machine{cluster: c, index: len(c.order), Spec: spec, byID: make(map[string]*Task)}
+	m := &Machine{cluster: c, index: len(c.order), Spec: spec, speed: spec.Speed}
 	// One completion callback per machine, bound once: rescheduling the
 	// completion event never allocates a closure.
 	m.completionFn = m.onCompletion
@@ -66,6 +66,55 @@ func (c *Cluster) AddMachine(spec arch.Machine) (*Machine, error) {
 	c.order = append(c.order, spec.Name)
 	c.speedOrder = nil
 	return m, nil
+}
+
+// Reset recycles the cluster for a fresh simulation over the same fleet:
+// the kernel rewinds to virtual time zero (Sim.Reset — every outstanding
+// event handle goes inert and the audit/stats hooks detach), every machine
+// returns to its just-registered state (Machine.Reset), change listeners
+// are dropped, and the traffic counters zero. The machine registry, the
+// kernel's slot arena and every per-machine buffer keep their storage, so
+// rebuilding a world on a reset cluster allocates almost nothing — the
+// scenario engine's per-worker arena recycles whole 10⁴-machine worlds this
+// way. The network model and file system are left as-is (callers that vary
+// them per run overwrite them, as they do on a fresh cluster).
+func (c *Cluster) Reset() {
+	c.Sim.Reset()
+	for _, name := range c.order {
+		c.machines[name].Reset()
+	}
+	c.listeners = c.listeners[:0]
+	c.taskCount = 0
+	c.changes = 0
+	c.notifying = false
+	c.pending = c.pending[:0]
+}
+
+// ReplaceSpecs re-specs the registered fleet in place: machine i takes
+// specs[i]. The replacement set must match the current fleet name-for-name
+// in registration order — this is re-provisioning the same world shape with
+// different sampled hardware (the scenario engine's per-run speed draws),
+// not growing or renaming the fleet. Call on a reset cluster; live
+// residents would otherwise see their host's speed change mid-residency.
+func (c *Cluster) ReplaceSpecs(specs []arch.Machine) error {
+	if len(specs) != len(c.order) {
+		return fmt.Errorf("sim: ReplaceSpecs got %d specs for a %d-machine fleet", len(specs), len(c.order))
+	}
+	for i, spec := range specs {
+		if spec.Name != c.order[i] {
+			return fmt.Errorf("sim: ReplaceSpecs spec %d named %q, machine is %q", i, spec.Name, c.order[i])
+		}
+		if spec.Speed <= 0 {
+			return fmt.Errorf("sim: machine %q needs positive speed", spec.Name)
+		}
+	}
+	for i, spec := range specs {
+		m := c.machines[c.order[i]]
+		m.Spec = spec
+		m.speed = spec.Speed
+	}
+	c.speedOrder = nil // speeds moved: the cached descending order is stale
+	return nil
 }
 
 // Machine returns a machine by name.

@@ -90,14 +90,15 @@ func (t *Task) Machine() *Machine { return t.machine }
 func (t *Task) Finished() bool { return t.finished }
 
 // Machine is one simulated computer.
+//
+// Field order is deliberate: the per-event hot path (advance → progress →
+// reschedule) reads accum, lastUpdate, localLoad, speed, suspended and the
+// ordered-residents header, which the layout packs together at the top of
+// the struct so a churn event touches one or two cache lines per machine,
+// not the whole ~250-byte struct. Spec (strings, cold identity data) and
+// the monitoring gauges sit below the hot prefix.
 type Machine struct {
 	cluster *Cluster
-	index   int // registration order, see Index
-	// Spec is the hardware description.
-	Spec arch.Machine
-
-	localLoad float64 // fraction of capacity consumed locally, >= 0
-	suspended bool    // remote tasks frozen (Stealth)
 
 	// accum integrates the per-task execution rate over time: the total
 	// work any task resident since the machine's creation would have
@@ -107,20 +108,36 @@ type Machine struct {
 	accum      float64
 	lastUpdate time.Duration // virtual instant accum was advanced to
 
+	localLoad float64 // fraction of capacity consumed locally, >= 0
+	// speed caches Spec.Speed for the rate arithmetic: the hot path reads
+	// it without dragging Spec's string-heavy cache lines in. Spec is
+	// read-only after registration (ReplaceSpecs is the one sanctioned
+	// mutation and keeps the cache in sync).
+	speed     float64
+	suspended bool // remote tasks frozen (Stealth)
+
 	// ordered holds residents ascending by (finishKey, ID): front is the
-	// next completion. byID serves Kill/duplicate lookups.
+	// next completion. It also serves Kill/duplicate lookups by linear
+	// scan — residents per machine are bounded by the placement slots, so
+	// a scan beats a per-machine map's allocation and hashing at fleet
+	// scale.
 	ordered []*Task
-	byID    map[string]*Task
-	// maxWork is the high-water task size ever placed here; it bounds the
-	// completion-scan epsilon (workEpsilon is monotone in Work).
-	maxWork float64
 
 	// pending is the machine's single scheduled completion event; a
 	// reschedule cancels it natively instead of leaving a dead closure
 	// queued. completionFn is allocated once so rescheduling is
-	// closure-free.
+	// closure-free — and it survives Reset, so a recycled machine never
+	// reallocates it.
 	pending      vtime.Event
 	completionFn func()
+
+	// maxWork is the high-water task size ever placed here; it bounds the
+	// completion-scan epsilon (workEpsilon is monotone in Work).
+	maxWork float64
+
+	index int // registration order, see Index
+	// Spec is the hardware description.
+	Spec arch.Machine
 
 	// finishedScratch is the reusable buffer for completion batches.
 	finishedScratch []*Task
@@ -155,7 +172,7 @@ func (m *Machine) Index() int { return m.index }
 // Load returns the scheduler-visible load: local load plus remote demand
 // per unit capacity.
 func (m *Machine) Load() float64 {
-	return m.localLoad + float64(len(m.ordered))/maxf(m.Spec.Speed, 0.001)
+	return m.localLoad + float64(len(m.ordered))/maxf(m.speed, 0.001)
 }
 
 // RemoteUtilization returns the time-weighted average fraction of capacity
@@ -176,7 +193,7 @@ func (m *Machine) remoteRatePerTask() float64 {
 	if m.suspended || len(m.ordered) == 0 {
 		return 0
 	}
-	avail := m.Spec.Speed * maxf(0, 1-m.localLoad)
+	avail := m.speed * maxf(0, 1-m.localLoad)
 	return avail / float64(len(m.ordered))
 }
 
@@ -205,8 +222,8 @@ func (m *Machine) progress(t *Task) float64 {
 // recorded value holds until the next mutation (piecewise-constant).
 func (m *Machine) recordUtil(now time.Duration) {
 	frac := 0.0
-	if m.Spec.Speed > 0 {
-		frac = m.remoteRatePerTask() * float64(len(m.ordered)) / m.Spec.Speed
+	if m.speed > 0 {
+		frac = m.remoteRatePerTask() * float64(len(m.ordered)) / m.speed
 	}
 	m.remoteBusy.Set(now, frac)
 	m.localBusy.Set(now, minf(m.localLoad, 1))
@@ -227,6 +244,20 @@ const maxETASeconds = 1e9
 // component so large work values with float residue still terminate.
 func workEpsilon(work float64) float64 {
 	return 1e-9 + 1e-12*work
+}
+
+// findByID returns the resident task with the given ID, or nil. Residents
+// per machine are bounded by the caller's placement slots (a handful), so a
+// linear scan of the ordered slice is cheaper than maintaining a per-machine
+// hash map — and it removes one map allocation per machine, which matters
+// at 10⁵-machine fleet scale.
+func (m *Machine) findByID(id string) *Task {
+	for _, t := range m.ordered {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
 }
 
 // insertOrdered places t into the residency order by (finishKey, ID).
@@ -315,7 +346,6 @@ func (m *Machine) onCompletion() {
 			t.doneWork = m.progress(t)
 			t.finished = true
 			t.machine = nil
-			delete(m.byID, t.ID)
 			finished = append(finished, t)
 			m.completed++
 		} else {
@@ -360,7 +390,7 @@ func (m *Machine) AddTask(t *Task) error {
 	if t.finished {
 		return fmt.Errorf("sim: task %q already finished", t.ID)
 	}
-	if _, dup := m.byID[t.ID]; dup {
+	if m.findByID(t.ID) != nil {
 		return fmt.Errorf("sim: duplicate task %q on %s", t.ID, m.Name())
 	}
 	now := m.cluster.Sim.Now()
@@ -373,7 +403,6 @@ func (m *Machine) AddTask(t *Task) error {
 		t.startedAt = now
 	}
 	m.insertOrdered(t)
-	m.byID[t.ID] = t
 	if t.Work > m.maxWork {
 		m.maxWork = t.Work
 	}
@@ -387,14 +416,13 @@ func (m *Machine) AddTask(t *Task) error {
 // Kill removes a task without completing it, firing OnKilled. The task's
 // accrued work survives in doneWork (checkpoint strategies read it).
 func (m *Machine) Kill(id string) (*Task, error) {
-	t, ok := m.byID[id]
-	if !ok {
+	t := m.findByID(id)
+	if t == nil {
 		return nil, fmt.Errorf("sim: no task %q on %s", id, m.Name())
 	}
 	now := m.cluster.Sim.Now()
 	m.advance(now)
 	t.doneWork = m.progress(t)
-	delete(m.byID, id)
 	m.removeOrdered(t)
 	t.machine = nil
 	m.killedCount++
@@ -465,6 +493,55 @@ func (t *Task) Rewind(work float64) error {
 	}
 	t.doneWork = work
 	return nil
+}
+
+// Reset returns an unplaced task to its virgin state — no progress, no
+// checkpoint, not finished — so pooled task records can be recycled across
+// simulation runs (or re-submitted as fresh work within one) without
+// reallocating. Identity (ID, App), sizing (Work, ImageBytes) and the
+// callbacks are kept; call sites that reuse a record for different work
+// overwrite those fields directly. Resetting a placed task is an error:
+// the hosting machine's accounting still references it.
+func (t *Task) Reset() error {
+	if t.machine != nil {
+		return fmt.Errorf("sim: cannot reset task %q while placed on %s", t.ID, t.machine.Name())
+	}
+	t.CheckpointedWork = 0
+	t.doneWork = 0
+	t.accumBase = 0
+	t.placements = 0
+	t.finishKey = 0
+	t.startedAt = 0
+	t.finished = false
+	return nil
+}
+
+// Reset returns the machine to its just-registered state: no residents, no
+// accrued progress, idle owner, fresh monitoring gauges. Identity (Spec,
+// Index, cluster membership) and the reusable completion closure survive, so
+// a recycled machine allocates nothing. Resident task records are detached,
+// not mutated — the caller owns their recycling (Task.Reset). The pending
+// completion event is cancelled natively, so Reset is safe both standalone
+// and under Cluster.Reset (where the kernel reset invalidates the handle
+// anyway). Reset does not notify change listeners: it is world teardown,
+// not a simulation event.
+func (m *Machine) Reset() {
+	m.cluster.Sim.Cancel(m.pending)
+	m.localLoad = 0
+	m.suspended = false
+	m.accum = 0
+	m.lastUpdate = 0
+	for i := range m.ordered {
+		m.ordered[i].machine = nil
+		m.ordered[i] = nil
+	}
+	m.ordered = m.ordered[:0]
+	m.maxWork = 0
+	m.pending = vtime.Event{}
+	m.remoteBusy = metrics.TimeWeighted{}
+	m.localBusy = metrics.TimeWeighted{}
+	m.completed = 0
+	m.killedCount = 0
 }
 
 // Killed returns how many tasks were killed on this machine (migrations and

@@ -1,0 +1,88 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+// scriptTrace drives a deterministic workload — a pseudorandom mix of
+// scheduling, cancellation and nested rescheduling — and returns the fired
+// event times in order. The same script on equivalent kernels must yield the
+// identical trace.
+func scriptTrace(s *Sim) []time.Duration {
+	var trace []time.Duration
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	var handles []Event
+	for i := 0; i < 200; i++ {
+		at := time.Duration(next(5000)) * time.Millisecond
+		depth := next(3)
+		var fn func()
+		fn = func() {
+			trace = append(trace, s.Now())
+			if depth > 0 {
+				depth--
+				s.After(time.Duration(1+next(50))*time.Millisecond, fn)
+			}
+		}
+		handles = append(handles, s.At(at, fn))
+	}
+	for i := 0; i < len(handles); i += 3 {
+		s.Cancel(handles[i])
+	}
+	s.RunUntil(10 * time.Second)
+	return trace
+}
+
+// TestSimResetMatchesFresh pins the recycling contract: a Reset kernel is
+// behaviorally indistinguishable from a new one — same fire order, same
+// counters — and handles from before the Reset are permanently inert.
+func TestSimResetMatchesFresh(t *testing.T) {
+	fresh := NewSim()
+	want := scriptTrace(fresh)
+
+	recycled := NewSim()
+	scriptTrace(recycled)
+	// Keep a live handle across the Reset: it must not be able to touch
+	// anything scheduled afterwards, even though its slot gets recycled.
+	stale := recycled.At(20*time.Second, func() { t.Error("stale event fired") })
+	recycled.Reset()
+	if recycled.Now() != 0 || recycled.Pending() != 0 || recycled.Fired() != 0 {
+		t.Fatalf("Reset left now=%v pending=%d fired=%d, want all zero",
+			recycled.Now(), recycled.Pending(), recycled.Fired())
+	}
+	got := scriptTrace(recycled)
+	if len(got) != len(want) {
+		t.Fatalf("recycled kernel fired %d events, fresh fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire %d: recycled at %v, fresh at %v", i, got[i], want[i])
+		}
+	}
+	if recycled.Cancel(stale) {
+		t.Fatal("pre-Reset handle cancelled a post-Reset event")
+	}
+}
+
+// TestSimResetArenaBounded pins the arena's memory behavior: recycling the
+// kernel through many identical cycles never grows the slot arena past the
+// high-water concurrency of the first cycle.
+func TestSimResetArenaBounded(t *testing.T) {
+	s := NewSim()
+	scriptTrace(s)
+	high := s.ArenaSlots()
+	if high == 0 {
+		t.Fatal("script left an empty arena — it scheduled nothing?")
+	}
+	for cycle := 0; cycle < 50; cycle++ {
+		s.Reset()
+		scriptTrace(s)
+		if got := s.ArenaSlots(); got != high {
+			t.Fatalf("cycle %d: arena grew to %d slots, first-cycle high water was %d", cycle, got, high)
+		}
+	}
+}

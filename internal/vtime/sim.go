@@ -16,6 +16,18 @@ import (
 // never counts dead work, and superseded events cost nothing when their
 // original deadline passes.
 //
+// The heap itself holds only the comparison fields (at, seq, slot) — 24
+// bytes per entry — while the cold callback pointer lives in the event's
+// slot-arena entry, which sift moves touch once per level anyway to track
+// the heap index. Sifts therefore stream pure key material: the four
+// children of a node span 96 contiguous bytes instead of 128, which is what
+// keeps the comparison path cache-resident at 10⁴–10⁵ pending events.
+//
+// A Sim is recyclable: Reset rewinds the clock and recycles the slot arena
+// in place, so a simulation world torn down and rebuilt between runs reuses
+// the kernel's backing arrays instead of reallocating them (the scenario
+// engine's per-worker arena leans on this).
+//
 // Sim is not safe for concurrent use: all events must be scheduled either
 // before Run or from within event callbacks, which is the natural shape of a
 // discrete-event simulation. The cluster simulator (internal/sim) is built on
@@ -66,21 +78,56 @@ func (s *Sim) SetStats(st *Stats) { s.stats = st }
 // NewSim returns a simulation kernel positioned at virtual time zero.
 func NewSim() *Sim { return &Sim{} }
 
-// event is one queued callback. Events are stored by value in the heap
-// slice; slot points back into the arena entry that tracks the event's
-// current heap index across sift moves.
+// Reset rewinds the kernel to virtual time zero for reuse: the pending
+// queue is dropped, every outstanding Event handle goes permanently inert
+// (slot generations advance, so no handle from before the Reset can ever
+// cancel an event scheduled after it), and the observer hooks (audit,
+// stats) are detached. The heap, slot arena and free list keep their
+// backing arrays — a reset kernel schedules into already-sized storage, so
+// recycling a simulation world allocates nothing in the kernel. The arena
+// never grows across reuse cycles beyond the high-water concurrency of the
+// busiest cycle (see ArenaSlots).
+func (s *Sim) Reset() {
+	s.heap = s.heap[:0]
+	s.free = s.free[:0]
+	// Descending free list: the next At pops slot 0 first, mirroring the
+	// allocation order of a fresh kernel.
+	for i := len(s.slots) - 1; i >= 0; i-- {
+		s.slots[i].gen++
+		s.slots[i].idx = -1
+		s.slots[i].fn = nil
+		s.free = append(s.free, int32(i))
+	}
+	s.now = 0
+	s.seq = 0
+	s.nfired = 0
+	s.halted = false
+	s.audit = nil
+	s.stats = nil
+}
+
+// ArenaSlots returns the size of the slot arena — the high-water count of
+// concurrently pending events over the kernel's lifetime, surviving Reset.
+// Reuse tests pin this to prove the arena stays bounded across cycles.
+func (s *Sim) ArenaSlots() int { return len(s.slots) }
+
+// event is one queued heap entry: just the (time, seq) comparison key and
+// the arena slot that tracks the entry's heap index across sift moves. The
+// callback is deliberately NOT here — it lives in the slot entry, so sift
+// comparisons and moves touch only this 24-byte key.
 type event struct {
 	at   time.Duration
 	seq  int64
 	slot int32
-	fn   func()
 }
 
-// slot is one arena entry: the tracked heap index of a live event plus a
-// generation counter that invalidates handles when the slot is recycled.
+// slot is one arena entry: the tracked heap index of a live event, a
+// generation counter that invalidates handles when the slot is recycled,
+// and the event's callback (cold until the event fires).
 type slot struct {
 	idx int32
 	gen uint32
+	fn  func()
 }
 
 // Event is a cancellable handle to a scheduled callback, returned by At and
@@ -119,9 +166,10 @@ func (s *Sim) At(t time.Duration, fn func()) Event {
 		sl = int32(len(s.slots) - 1)
 	}
 	i := len(s.heap)
-	s.heap = append(s.heap, event{at: t, seq: s.seq, slot: sl, fn: fn})
+	s.heap = append(s.heap, event{at: t, seq: s.seq, slot: sl})
 	s.seq++
 	s.slots[sl].idx = int32(i)
+	s.slots[sl].fn = fn
 	s.siftUp(i)
 	if s.stats != nil {
 		s.stats.Scheduled++
@@ -160,10 +208,12 @@ func (s *Sim) Cancel(e Event) bool {
 }
 
 // freeSlot retires an arena entry, bumping its generation so outstanding
-// handles to the old incarnation go inert.
+// handles to the old incarnation go inert. The callback reference is
+// released here — the heap entries are pure values and need no clearing.
 func (s *Sim) freeSlot(sl int32) {
 	s.slots[sl].gen++
 	s.slots[sl].idx = -1
+	s.slots[sl].fn = nil
 	s.free = append(s.free, sl)
 }
 
@@ -174,7 +224,6 @@ func (s *Sim) removeAt(i int) {
 		s.heap[i] = s.heap[last]
 		s.slots[s.heap[i].slot].idx = int32(i)
 	}
-	s.heap[last] = event{} // release the callback reference
 	s.heap = s.heap[:last]
 	if i != last {
 		s.siftDown(i)
@@ -186,18 +235,18 @@ func (s *Sim) removeAt(i int) {
 // non-empty queue.
 func (s *Sim) popMin() (time.Duration, func()) {
 	e := s.heap[0]
+	fn := s.slots[e.slot].fn
 	s.freeSlot(e.slot)
 	last := len(s.heap) - 1
 	if last > 0 {
 		s.heap[0] = s.heap[last]
 		s.slots[s.heap[0].slot].idx = 0
 	}
-	s.heap[last] = event{}
 	s.heap = s.heap[:last]
 	if last > 0 {
 		s.siftDown(0)
 	}
-	return e.at, e.fn
+	return e.at, fn
 }
 
 func lessEv(a, b *event) bool {

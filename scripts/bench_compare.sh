@@ -67,12 +67,43 @@ if [[ -n "$missing" ]]; then
   echo "bench_compare: benchmarks in $baseline but missing from $fresh:" $missing
 fi
 
+# events/sec is the simulator's headline throughput metric (BenchmarkSimHotPath
+# reports it): a drop past the threshold gets its own annotation even when the
+# row's ns/op moved less — the two can diverge when b.N shifts the horizon mix.
+extract_eps() {
+  sed -n 's/.*"name": "\([^"]*\)".*"events_per_sec": \([0-9.e+]*\).*/\1 \2/p' "$1"
+}
+
+base_eps="$(mktemp)"
+fresh_eps="$(mktemp)"
+trap 'rm -f "$base_tbl" "$fresh_tbl" "$base_eps" "$fresh_eps"' EXIT
+extract_eps "$baseline" | sort > "$base_eps"
+extract_eps "$fresh"    | sort > "$fresh_eps"
+
+join "$base_eps" "$fresh_eps" | awk -v thr="$threshold" '
+{
+    name = $1; base = $2 + 0; now = $3 + 0
+    if (base <= 0) next
+    drop = 100 * (base - now) / base
+    if (drop > thr) {
+        printf "::warning title=throughput regression::%s events/sec dropped %.1f%% (%.0f -> %.0f, threshold %s%%)\n",
+               name, drop, base, now, thr
+        regressions++
+    }
+}
+END {
+    if (regressions > 0)
+        printf "bench_compare: %d benchmark(s) lost more than %s%% events/sec (advisory, not blocking)\n", regressions, thr
+    else
+        print "bench_compare: no events/sec regressions beyond " thr "%"
+}'
+
 # Allocation counts are deterministic (no shared-runner noise), so any
 # increase at all is worth a warning: the kernel hot path in particular is
 # contractually 0 allocs/op with the stats observer on or off.
 base_alloc="$(mktemp)"
 fresh_alloc="$(mktemp)"
-trap 'rm -f "$base_tbl" "$fresh_tbl" "$base_alloc" "$fresh_alloc"' EXIT
+trap 'rm -f "$base_tbl" "$fresh_tbl" "$base_eps" "$fresh_eps" "$base_alloc" "$fresh_alloc"' EXIT
 extract_allocs "$baseline" | sort > "$base_alloc"
 extract_allocs "$fresh"    | sort > "$fresh_alloc"
 
