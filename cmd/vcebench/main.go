@@ -16,6 +16,16 @@
 // one per CPU). Runs are deterministic: the same spec and -seed reproduce
 // byte-identical artifacts at any worker count.
 //
+// Arrival processes (workload.arrivals.kind): "batch" (everything at t=0),
+// "poisson" (homogeneous open arrivals), "diurnal" (sinusoidally
+// rate-modulated Poisson — day/night traffic) and "trace" (replay of
+// recorded inter-arrival gaps, inline or via trace_path). The open-loop
+// kinds (diurnal, trace) stream arrivals through a bounded task pool, so a
+// cell can absorb millions of tasks in constant memory; workload.queue_limit
+// bounds admission and rejected arrivals surface as the reject_rate_pct
+// index alongside the steady-state slowdown quantiles and queue-depth
+// columns in every report table.
+//
 // Sweeps shard across processes and cache across runs:
 //
 //	vcebench -name hetero-baseline -shard 0/2 -out /tmp/s0   # half the grid
@@ -52,7 +62,8 @@
 // engine-wide invariants — seed determinism, worker-count invariance,
 // shard/merge and cache-warm identity, policy-matrix and machine-order
 // permutation invariance, kernel conservation-of-work/monotonicity (audit
-// hook), and makespan dominance. A violated property is minimized to the
+// hook), steady-state identity of a heavy-traffic streaming cell, and
+// makespan dominance. A violated property is minimized to the
 // smallest still-failing spec and written to -out as a `vcebench -spec`
 // reproduction file; the exit status is non-zero.
 package main

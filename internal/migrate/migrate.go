@@ -134,27 +134,39 @@ func (k *Checkpointer) Attach(c *sim.Cluster, t *sim.Task) error {
 		if t.Finished() {
 			return
 		}
-		m := t.Machine()
-		if m != nil {
-			m.Sync()
-			t.CheckpointedWork = t.DoneWork()
-			k.checkpoints++
-			k.bytesWritten += t.ImageBytes
-			site := m.Name()
-			path := ckptPath(t.ID)
-			if _, ok := c.FS.Stat(path); !ok {
-				_ = c.FS.Create(path, t.ImageBytes, site)
-			} else {
-				if !c.FS.HasCurrent(path, site) {
-					_, _ = c.FS.Replicate(path, site)
-				}
-				_ = c.FS.Write(path, site, t.ImageBytes)
-			}
-		}
+		k.CheckpointNow(c, t)
 		c.Sim.After(k.Interval, tick)
 	}
 	c.Sim.After(k.Interval, tick)
 	return nil
+}
+
+// CheckpointNow captures one checkpoint of t immediately: progress syncs to
+// the current virtual instant and the checkpoint record lands in the
+// cluster file system at the hosting site. An unplaced or finished task is
+// a no-op. Attach's periodic tick runs this same body; callers that manage
+// their own cadence — the scenario engine's cell-wide checkpoint ticker
+// over a recycled task pool, where per-task tick chains would outlive the
+// records they watch — call it directly.
+func (k *Checkpointer) CheckpointNow(c *sim.Cluster, t *sim.Task) {
+	m := t.Machine()
+	if m == nil || t.Finished() {
+		return
+	}
+	m.Sync()
+	t.CheckpointedWork = t.DoneWork()
+	k.checkpoints++
+	k.bytesWritten += t.ImageBytes
+	site := m.Name()
+	path := ckptPath(t.ID)
+	if _, ok := c.FS.Stat(path); !ok {
+		_ = c.FS.Create(path, t.ImageBytes, site)
+	} else {
+		if !c.FS.HasCurrent(path, site) {
+			_, _ = c.FS.Replicate(path, site)
+		}
+		_ = c.FS.Write(path, site, t.ImageBytes)
+	}
 }
 
 // Stats returns (checkpoints taken, checkpoint bytes written).

@@ -47,28 +47,67 @@ type Report struct {
 	Cells []Cell `json:"cells"`
 }
 
-// indexColumn describes one aggregated index column.
+// aggKind selects how ComparisonTable condenses a column's per-run spread
+// into one human-facing cell.
+type aggKind int
+
+const (
+	// aggMeanStd renders "mean ± stddev" (mean-only for single-run cells).
+	aggMeanStd aggKind = iota
+	// aggPeak renders the maximum across runs — the honest aggregate for
+	// per-run maxima, where a mean would understate the worst backlog seen.
+	aggPeak
+)
+
+// indexColumn is one entry of the declarative index registry: the artifact
+// column name (the Indexes field's JSON tag), the human unit, the getter,
+// and how the comparison table aggregates it across runs. Every table and
+// CSV/JSON writer walks this one list, so adding a steady-state index is a
+// single registration here plus the field on Indexes.
 type indexColumn struct {
 	name string
+	unit string
 	get  func(Indexes) float64
+	agg  aggKind
 }
 
-func indexColumns() []indexColumn {
-	return []indexColumn{
-		{"makespan_s", func(i Indexes) float64 { return i.MakespanS }},
-		{"throughput_per_h", func(i Indexes) float64 { return i.ThroughputPerH }},
-		{"mean_completion_s", func(i Indexes) float64 { return i.MeanCompletionS }},
-		{"utilization_pct", func(i Indexes) float64 { return i.UtilizationPct }},
-		{"completed", func(i Indexes) float64 { return float64(i.Completed) }},
-		{"migrations", func(i Indexes) float64 { return float64(i.Migrations) }},
-		{"suspensions", func(i Indexes) float64 { return float64(i.Suspensions) }},
-		{"failed", func(i Indexes) float64 { return float64(i.Failed) }},
-		{"rejected", func(i Indexes) float64 { return float64(i.Rejected) }},
+// indexRegistry lists the report columns in artifact order. The order is
+// pinned by the golden artifacts: append new indexes, never reorder.
+var indexRegistry = []indexColumn{
+	{"makespan_s", "s", func(i Indexes) float64 { return i.MakespanS }, aggMeanStd},
+	{"throughput_per_h", "tasks/h", func(i Indexes) float64 { return i.ThroughputPerH }, aggMeanStd},
+	{"mean_completion_s", "s", func(i Indexes) float64 { return i.MeanCompletionS }, aggMeanStd},
+	{"utilization_pct", "%", func(i Indexes) float64 { return i.UtilizationPct }, aggMeanStd},
+	{"completed", "tasks", func(i Indexes) float64 { return float64(i.Completed) }, aggMeanStd},
+	{"migrations", "events", func(i Indexes) float64 { return float64(i.Migrations) }, aggMeanStd},
+	{"suspensions", "events", func(i Indexes) float64 { return float64(i.Suspensions) }, aggMeanStd},
+	{"failed", "tasks", func(i Indexes) float64 { return float64(i.Failed) }, aggMeanStd},
+	{"rejected", "tasks", func(i Indexes) float64 { return float64(i.Rejected) }, aggMeanStd},
+	{"slowdown_p50", "×", func(i Indexes) float64 { return i.SlowdownP50 }, aggMeanStd},
+	{"slowdown_p99", "×", func(i Indexes) float64 { return i.SlowdownP99 }, aggMeanStd},
+	{"queue_depth_mean", "tasks", func(i Indexes) float64 { return i.QueueDepthMean }, aggMeanStd},
+	{"queue_depth_max", "tasks", func(i Indexes) float64 { return i.QueueDepthMax }, aggPeak},
+	{"reject_rate_pct", "%", func(i Indexes) float64 { return i.RejectRatePct }, aggMeanStd},
+}
+
+// indexColumns returns the registry (kept as a function so existing call
+// sites read naturally; the slice is shared — callers must not mutate it).
+func indexColumns() []indexColumn { return indexRegistry }
+
+// fmtAgg renders one comparison cell per the column's aggregation kind.
+func fmtAgg(d *metrics.Dist, agg aggKind) string {
+	if agg == aggPeak {
+		return fmt.Sprintf("%.4g", d.Max())
 	}
+	return fmtMS(d)
 }
 
-// fmtMS renders a mean ± stddev cell.
+// fmtMS renders a mean ± stddev cell. A single-run cell has no spread to
+// report — its stddev is a degenerate 0 — so it renders mean-only.
 func fmtMS(d *metrics.Dist) string {
+	if d.N() <= 1 {
+		return fmt.Sprintf("%.4g", d.Mean())
+	}
 	return fmt.Sprintf("%.4g ± %.3g", d.Mean(), d.Stddev())
 }
 
@@ -96,7 +135,7 @@ func (r *Report) ComparisonTable() *metrics.Table {
 	for _, cell := range r.Cells {
 		row := []interface{}{cell.Sched, cell.Migration}
 		for _, c := range indexColumns() {
-			row = append(row, fmtMS(dist(cell.Runs, c.get)))
+			row = append(row, fmtAgg(dist(cell.Runs, c.get), c.agg))
 		}
 		t.AddRow(row...)
 	}
@@ -152,6 +191,14 @@ func (r *Report) Markdown() string {
 		len(r.Spec.Policies.Scheduling), len(r.Spec.Policies.Migration), r.Spec.Runs, r.Spec.Seed, r.Spec.HorizonS)
 	b.WriteString("## Index comparison (mean ± stddev)\n\n")
 	b.WriteString(r.ComparisonTable().Markdown())
+	b.WriteString("\nUnits: ")
+	for i, c := range indexColumns() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s (%s)", c.name, c.unit)
+	}
+	b.WriteString(". queue_depth_max is the maximum across runs; all other columns are per-run means.\n")
 	b.WriteString("\n## Per-run indexes\n\n")
 	b.WriteString(r.RunsTable().Markdown())
 	return b.String()

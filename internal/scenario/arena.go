@@ -59,11 +59,31 @@ type runArena struct {
 
 	// ids caches the task ID strings ("task-%03d"), which are independent
 	// of both run and cell; taskIdx inverts them. tasks is the pooled task
-	// record storage — cells hand out &tasks[i] pointers and re-initialize
-	// the values in place.
+	// record storage for eager (closed-workload) cells — cells hand out
+	// &tasks[i] pointers and re-initialize the values in place.
 	ids     []string
 	taskIdx map[string]int
 	tasks   []sim.Task
+
+	// Streaming (open-loop) cells draw task records from a bounded recycled
+	// pool instead: a slot is acquired at arrival admission and released at
+	// completion, so live records track the backlog + residents, not the
+	// task count. chunks stores records in fixed-size blocks — blocks never
+	// move as the pool grows, so &chunk[i] pointers held by machines stay
+	// valid. freeSlots is the recycle stack; poolCreated counts slots ever
+	// materialized (slot s lives at chunks[s/poolChunk][s%poolChunk]);
+	// poolLive/poolPeak track the cell's live-record high-water mark, the
+	// number the bounded-memory smoke asserts on.
+	streamMode  bool
+	chunks      [][]sim.Task
+	freeSlots   []int
+	poolCreated int
+	poolLive    int
+	poolPeak    int
+
+	// acc is the per-run streaming index accumulator, arena-resident so its
+	// fixed-shape sketch recycles across cells.
+	acc StreamingIndexes
 
 	// Per-cell scratch, index-keyed by machine or task index.
 	down       []bool
@@ -179,30 +199,42 @@ func (ar *runArena) ensureWorld(sp *Spec, run int, horizon time.Duration) error 
 		}
 	}
 
-	n := sp.Workload.Tasks
-	for len(ar.ids) < n {
-		ar.ids = append(ar.ids, fmt.Sprintf("task-%03d", len(ar.ids)))
+	// Eager (closed) sources materialize the task population here, as part
+	// of the cached world. Streaming sources draw tasks lazily per cell
+	// during the simulation — from the same derived streams, so the world
+	// cache still holds for machines, owner traces and faults.
+	src, err := workloadSource(sp.Workload.Arrivals.Kind)
+	if err != nil {
+		return err
 	}
-	if cap(ar.gens) < n {
-		ar.gens = make([]taskGen, n)
-	}
-	ar.gens = ar.gens[:n]
-	workRng := root.Derive("work")
-	for i := range ar.gens {
-		ar.gens[i] = taskGen{id: ar.ids[i], work: sp.Workload.Work.Sample(workRng)}
-	}
-	if con := sp.Workload.Constrained; con != nil {
-		conRng := root.Derive("constraints")
-		for i := range ar.gens {
-			ar.gens[i].constrained = conRng.Bool(con.Fraction)
+	if !src.Streaming() {
+		n := sp.Workload.Tasks
+		for len(ar.ids) < n {
+			ar.ids = append(ar.ids, fmt.Sprintf("task-%03d", len(ar.ids)))
 		}
-	}
-	if sp.Workload.Arrivals.Kind == "poisson" {
-		arrRng := root.Derive("arrivals")
-		t := 0.0
+		if cap(ar.gens) < n {
+			ar.gens = make([]taskGen, n)
+		}
+		ar.gens = ar.gens[:n]
+		workRng := root.Derive("work")
 		for i := range ar.gens {
-			t += arrRng.ExpFloat64() / sp.Workload.Arrivals.RatePerS
-			ar.gens[i].arrival = time.Duration(t * float64(time.Second))
+			ar.gens[i] = taskGen{id: ar.ids[i], work: sp.Workload.Work.Sample(workRng)}
+		}
+		if con := sp.Workload.Constrained; con != nil {
+			conRng := root.Derive("constraints")
+			for i := range ar.gens {
+				ar.gens[i].constrained = conRng.Bool(con.Fraction)
+			}
+		}
+		if sp.Workload.Arrivals.Kind != "batch" {
+			cur := src.Cursor(sp.Workload.Arrivals, root.Derive("arrivals"))
+			for i := range ar.gens {
+				at, ok := cur()
+				if !ok {
+					at = horizon // exhausted source: never arrives
+				}
+				ar.gens[i].arrival = at
+			}
 		}
 	}
 
@@ -333,16 +365,46 @@ func (ar *runArena) ensureCandidates(sp *Spec, rebuilt bool) error {
 }
 
 // prepCell sizes and clears the per-cell scratch buffers and the pooled
-// task records' index. Task values themselves are re-initialized by the
-// caller (they need the cell's completion callback).
-func (ar *runArena) prepCell() {
-	n := len(ar.gens)
+// task records' index, and resets the run accumulator. Task values
+// themselves are re-initialized by the caller (they need the cell's
+// completion callback). A streaming cell recycles the bounded task pool
+// instead of the flat per-task arrays: every slot ever materialized is free
+// again, and the per-slot scratch re-zeros lazily at acquisition.
+func (ar *runArena) prepCell(streaming bool) {
 	nm := len(ar.machines)
 	ar.down = resetBools(ar.down, nm)
 	ar.ownerLoad = resetFloats(ar.ownerLoad, nm)
+	ar.waiting = ar.waiting[:0]
+	ar.streamMode = streaming
+	ar.acc.Reset()
+	if streaming {
+		created := ar.poolCreated
+		ar.gens = ar.gens[:created]
+		ar.attached = resetBools(ar.attached, created)
+		ar.everPlaced = resetBools(ar.everPlaced, created)
+		// Pop order is ascending slot ids, so task IDs assign in arrival
+		// order and recycling is deterministic.
+		ar.freeSlots = ar.freeSlots[:0]
+		for s := created - 1; s >= 0; s-- {
+			ar.freeSlots = append(ar.freeSlots, s)
+		}
+		ar.poolLive, ar.poolPeak = 0, 0
+		if ar.taskIdx == nil {
+			ar.taskIdx = make(map[string]int)
+		}
+		// An eager cell on this arena may have rebuilt the index smaller
+		// than the pool; re-cover every created slot (idempotent — the
+		// id→index mapping is universal).
+		if len(ar.taskIdx) < created {
+			for i := 0; i < created; i++ {
+				ar.taskIdx[ar.ids[i]] = i
+			}
+		}
+		return
+	}
+	n := len(ar.gens)
 	ar.attached = resetBools(ar.attached, n)
 	ar.everPlaced = resetBools(ar.everPlaced, n)
-	ar.waiting = ar.waiting[:0]
 	if cap(ar.tasks) < n {
 		ar.tasks = make([]sim.Task, n)
 	}
@@ -353,4 +415,54 @@ func (ar *runArena) prepCell() {
 			ar.taskIdx[ar.ids[i]] = i
 		}
 	}
+}
+
+// poolChunk is the streaming pool's block size: records allocate in blocks
+// so growth never moves existing records (machines hold pointers into them).
+const poolChunk = 512
+
+// taskAt returns the pooled record for slot i in the current cell's mode.
+func (ar *runArena) taskAt(i int) *sim.Task {
+	if ar.streamMode {
+		return &ar.chunks[i/poolChunk][i%poolChunk]
+	}
+	return &ar.tasks[i]
+}
+
+// acquireSlot hands out a free pool slot for an admitted streaming arrival,
+// materializing a new one (and its id, index entry and per-slot scratch)
+// when the recycle stack is empty. The caller fills gens[slot] and the task
+// record; acquire only guarantees clean placement/attachment scratch.
+func (ar *runArena) acquireSlot() int {
+	var s int
+	if n := len(ar.freeSlots); n > 0 {
+		s = ar.freeSlots[n-1]
+		ar.freeSlots = ar.freeSlots[:n-1]
+	} else {
+		s = ar.poolCreated
+		ar.poolCreated++
+		if s%poolChunk == 0 {
+			ar.chunks = append(ar.chunks, make([]sim.Task, poolChunk))
+		}
+		for len(ar.ids) <= s {
+			ar.ids = append(ar.ids, fmt.Sprintf("task-%03d", len(ar.ids)))
+		}
+		ar.taskIdx[ar.ids[s]] = s
+		ar.gens = append(ar.gens, taskGen{})
+		ar.attached = append(ar.attached, false)
+		ar.everPlaced = append(ar.everPlaced, false)
+	}
+	ar.everPlaced[s] = false
+	ar.attached[s] = false
+	ar.poolLive++
+	if ar.poolLive > ar.poolPeak {
+		ar.poolPeak = ar.poolLive
+	}
+	return s
+}
+
+// releaseSlot returns a completed task's slot to the pool.
+func (ar *runArena) releaseSlot(s int) {
+	ar.poolLive--
+	ar.freeSlots = append(ar.freeSlots, s)
 }

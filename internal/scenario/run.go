@@ -39,10 +39,22 @@ type Indexes struct {
 	Suspensions int64 `json:"suspensions"`
 	// Failed counts task incarnations killed by machine failures.
 	Failed int64 `json:"failed"`
-	// Rejected counts tasks never placed by the horizon.
+	// Rejected counts tasks that never ran: bounded-queue admission
+	// refusals, arrivals past the horizon, and tasks never placed.
 	Rejected int `json:"rejected"`
 	// Completed counts finished tasks.
 	Completed int `json:"completed"`
+	// SlowdownP50 and SlowdownP99 are steady-state slowdown quantiles:
+	// (finish − arrival) / (work at speed 1.0), from the run's fixed-shape
+	// quantile sketch (see StreamingIndexes).
+	SlowdownP50 float64 `json:"slowdown_p50"`
+	SlowdownP99 float64 `json:"slowdown_p99"`
+	// QueueDepthMean is the time-weighted mean waiting-queue depth over the
+	// run; QueueDepthMax is the largest settled backlog observed.
+	QueueDepthMean float64 `json:"queue_depth_mean"`
+	QueueDepthMax  float64 `json:"queue_depth_max"`
+	// RejectRatePct is Rejected as a percentage of the offered tasks.
+	RejectRatePct float64 `json:"reject_rate_pct"`
 }
 
 // derivedStreams builds the per-run random streams. Policy identity is
@@ -144,6 +156,14 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 		return Indexes{}, err
 	}
 	horizon := time.Duration(sp.HorizonS * float64(time.Second))
+	src, err := workloadSource(sp.Workload.Arrivals.Kind)
+	if err != nil {
+		return Indexes{}, fmt.Errorf("scenario: %s: %w", sp.Name, err)
+	}
+	streaming := src.Streaming()
+	if a := sp.Workload.Arrivals; a.Kind == "trace" && len(a.TraceS) == 0 {
+		return Indexes{}, fmt.Errorf("scenario: %s: trace arrivals not inlined — trace_path requires scenario.Load", sp.Name)
+	}
 
 	// ---- world generation (shared across matrix cells, cached per run
 	// index in the arena; a single-use arena is the fresh path) ----
@@ -161,10 +181,9 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	if err := ar.ensureCandidates(sp, rebuilt); err != nil {
 		return Indexes{}, err
 	}
-	ar.prepCell()
+	ar.prepCell(streaming)
 	c := ar.cluster
 	machines := ar.machines
-	gens := ar.gens
 	if tr != nil {
 		c.Sim.SetStats(&kstats)
 	}
@@ -244,18 +263,20 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	// sets live in the arena because the generated fleet's names and classes
 	// are spec-determined, stable across cells and runs.
 	slots := ar.slots
-	tasks := ar.tasks
 	candsFor := func(i int) ([]string, []int) {
-		if gens[i].constrained {
+		if ar.gens[i].constrained {
 			return ar.pinnedNames, ar.pinnedIDs
 		}
 		return ar.allNames, ar.allIDs
 	}
-	attached := ar.attached
-	everPlaced := ar.everPlaced
 	waiting := ar.waiting
-	var completedSum float64
-	var makespan time.Duration
+	// acc is the run's one-pass index accumulator: completions, rejections
+	// and queue-depth changes fold in as events fire, so measurement state
+	// is fixed-size however many tasks the cell absorbs. (Per-task scratch
+	// is reached through ar, not hoisted locals: a streaming cell's pool
+	// grows its index-keyed slices mid-run.)
+	acc := &ar.acc
+	acc.NoteQueueDepth(0, 0)
 
 	// tryPlace is re-entered through cluster change notifications (AddTask
 	// fires OnChange, which calls tryPlace): the guard collapses re-entrant
@@ -274,7 +295,12 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 			return
 		}
 		placing = true
-		defer func() { placing = false }()
+		// The outermost exit is where the queue has settled for this event:
+		// record its depth for the time-weighted backlog integral.
+		defer func() {
+			placing = false
+			acc.NoteQueueDepth(c.Sim.Now(), len(waiting))
+		}()
 		for {
 			placeAgain = false
 			if len(waiting) == 0 {
@@ -299,7 +325,7 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 			waiting = left
 			for _, a := range placed {
 				ti := ar.taskIdx[string(a.Task)]
-				t := &tasks[ti]
+				t := ar.taskAt(ti)
 				hi, ok := ar.machIdx[a.Machine]
 				if !ok {
 					continue
@@ -310,9 +336,12 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 					waiting = append(waiting, sched.Item{Task: a.Task, Candidates: cands, CandidateIDs: ids, Work: t.Remaining()})
 					continue
 				}
-				everPlaced[ti] = true
-				if ck != nil && t.Checkpointable && !attached[ti] {
-					attached[ti] = true
+				ar.everPlaced[ti] = true
+				// Streaming cells checkpoint through the cell-wide ticker
+				// below: a per-task tick chain would outlive its recycled
+				// pool record and checkpoint the wrong incarnation.
+				if ck != nil && t.Checkpointable && !streaming && !ar.attached[ti] {
+					ar.attached[ti] = true
 					_ = ck.Attach(c, t)
 				}
 			}
@@ -324,34 +353,104 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 
 	// One completion callback shared by every task of the cell: the pooled
 	// task records are re-initialized per cell, but the closure itself is
-	// identical across them, so tasks never carry per-task closures.
-	onDone := func(_ *sim.Task, at time.Duration) {
-		idx.Completed++
-		completedSum += at.Seconds()
-		if at > makespan {
-			makespan = at
+	// identical across them, so tasks never carry per-task closures. In a
+	// streaming cell, completion also returns the record's slot to the pool
+	// for the next arrival.
+	onDone := func(t *sim.Task, at time.Duration) {
+		ti := ar.taskIdx[t.ID]
+		acc.TaskDone(at, ar.gens[ti].arrival, t.Work)
+		if streaming {
+			ar.releaseSlot(ti)
 		}
 		tryPlace()
 	}
 	ar.submitHook = func(i int) {
-		g := &gens[i]
-		tasks[i] = sim.Task{
+		g := &ar.gens[i]
+		if err := ar.taskAt(i).Recycle(sim.Task{
 			ID:             g.id,
 			Work:           g.work,
 			ImageBytes:     imageBytes,
 			Checkpointable: sp.Workload.Checkpointable,
 			OnDone:         onDone,
+		}); err != nil {
+			// Impossible by construction: completion detaches the record
+			// before OnDone returns its slot, and Cluster.Reset detaches
+			// residents between cells.
+			panic(err)
 		}
 		cands, ids := candsFor(i)
 		waiting = append(waiting, sched.Item{Task: taskgraph.TaskID(g.id), Candidates: cands, CandidateIDs: ids, Work: g.work})
 		tryPlace()
 	}
-	for i := range gens {
-		if gens[i].arrival >= horizon {
-			idx.Rejected++ // never arrives inside the horizon
-			continue
+	// generated counts the arrivals a streaming pump actually produced; the
+	// remainder up to the task cap never arrived and is accounted rejected
+	// after the run, mirroring the eager past-the-horizon rule.
+	generated := 0
+	if !streaming {
+		for i := range ar.gens {
+			if ar.gens[i].arrival >= horizon {
+				acc.TaskRejected() // never arrives inside the horizon
+				continue
+			}
+			c.Sim.At(ar.gens[i].arrival, ar.arriveFn(i))
 		}
-		c.Sim.At(gens[i].arrival, ar.arriveFn(i))
+	} else {
+		// Open-loop arrival pump: a self-scheduling event draws the next
+		// instant from the source cursor and admits or rejects the arrival
+		// against the bounded queue. The work and constraint draws always
+		// happen — even for a rejected arrival — so every cell of the run
+		// consumes the derived streams identically whatever its queue state.
+		target := sp.Workload.Tasks
+		queueLimit := sp.Workload.QueueLimit
+		root := derivedStreams(sp, run)
+		cur := src.Cursor(sp.Workload.Arrivals, root.Derive("arrivals"))
+		workRng := root.Derive("work")
+		con := sp.Workload.Constrained
+		var conRng *rng.Source
+		if con != nil {
+			conRng = root.Derive("constraints")
+		}
+		var pump func()
+		scheduleNext := func() {
+			if generated >= target {
+				return
+			}
+			if at, ok := cur(); ok && at < horizon {
+				c.Sim.At(at, pump)
+			}
+		}
+		pump = func() {
+			generated++
+			work := sp.Workload.Work.Sample(workRng)
+			constrained := conRng != nil && conRng.Bool(con.Fraction)
+			if queueLimit > 0 && len(waiting) >= queueLimit {
+				acc.TaskRejected()
+			} else {
+				s := ar.acquireSlot()
+				ar.gens[s] = taskGen{id: ar.ids[s], work: work, arrival: c.Sim.Now(), constrained: constrained}
+				ar.submitHook(s)
+			}
+			scheduleNext()
+		}
+		scheduleNext()
+	}
+
+	// Streaming cells checkpoint on a single cell-wide cadence over the live
+	// residents instead of per-task tick chains (see tryPlace).
+	if streaming && ck != nil && sp.Workload.Checkpointable {
+		interval := time.Duration(sp.CheckpointIntervalS * float64(time.Second))
+		var ckTick func()
+		ckTick = func() {
+			for _, m := range machines {
+				for _, t := range m.Tasks() {
+					if t.Checkpointable {
+						ck.CheckpointNow(c, t)
+					}
+				}
+			}
+			c.Sim.After(interval, ckTick)
+		}
+		c.Sim.After(interval, ckTick)
 	}
 
 	// Owner departures free machines: retry placement on load drops.
@@ -466,23 +565,20 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	// stranded in the queue at the horizon were placed once and already show
 	// up in Failed, not here.
 	for _, it := range waiting {
-		if !everPlaced[ar.taskIdx[string(it.Task)]] {
-			idx.Rejected++
+		if !ar.everPlaced[ar.taskIdx[string(it.Task)]] {
+			acc.TaskRejected()
 		}
+	}
+	// A streaming pump that the horizon (or an exhausted trace) stopped
+	// short of the task cap never offered the remainder: those tasks never
+	// arrive, the same fate as eager arrivals past the horizon.
+	if streaming {
+		acc.rejected += sp.Workload.Tasks - generated
 	}
 	// Hand the grown scratch capacity back to the arena for the next cell.
 	ar.waiting = waiting
 	ar.statesBuf = statesBuf
-	if makespan == 0 {
-		makespan = end
-	}
-	idx.MakespanS = makespan.Seconds()
-	if end > 0 {
-		idx.ThroughputPerH = float64(idx.Completed) / end.Hours()
-	}
-	if idx.Completed > 0 {
-		idx.MeanCompletionS = completedSum / float64(idx.Completed)
-	}
+	acc.Finalize(&idx, end, sp.Workload.Tasks)
 	var util float64
 	for _, m := range machines {
 		util += m.RemoteUtilization(end)

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"vce/internal/rng"
@@ -120,12 +121,33 @@ type MachineSetSpec struct {
 	LatencyMs float64 `json:"latency_ms,omitempty"`
 }
 
-// ArrivalSpec shapes task submission times.
+// ArrivalSpec shapes task submission times. Kind resolves against the
+// workload-source registry (see WorkloadSource and ArrivalKinds): "batch"
+// and "poisson" are closed sources materialized up front; "diurnal" and
+// "trace" are open-loop streaming sources pumped during the simulation from
+// a bounded task pool.
 type ArrivalSpec struct {
-	// Kind is "batch" (everything at t=0) or "poisson".
+	// Kind selects the arrival source; see ArrivalKinds.
 	Kind string `json:"kind"`
-	// RatePerS is the Poisson arrival rate (tasks/second).
+	// RatePerS is the mean arrival rate in tasks/second ("poisson"), or the
+	// base rate the diurnal cycle modulates ("diurnal").
 	RatePerS float64 `json:"rate_per_s,omitempty"`
+	// Amplitude is the diurnal modulation depth in [0, 1]: the rate swings
+	// between rate·(1−amplitude) and rate·(1+amplitude).
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// PeriodS is the diurnal cycle length in seconds (default 86400).
+	PeriodS float64 `json:"period_s,omitempty"`
+	// PhaseS shifts the diurnal cycle start, in seconds.
+	PhaseS float64 `json:"phase_s,omitempty"`
+	// TracePath names a compact arrival file for "trace": one inter-arrival
+	// gap in seconds per line, blank lines and #-comments skipped.
+	// scenario.Load inlines the file into TraceS (relative to the spec's
+	// directory) so artifacts and cache keys are self-contained.
+	TracePath string `json:"trace_path,omitempty"`
+	// TraceS is the inlined inter-arrival gap sequence, in seconds.
+	TraceS []float64 `json:"trace_s,omitempty"`
+	// Repeat tiles the trace until the horizon or the task cap.
+	Repeat bool `json:"repeat,omitempty"`
 }
 
 // ConstrainedSpec marks a fraction of tasks as capability-constrained: they
@@ -153,6 +175,11 @@ type WorkloadSpec struct {
 	Checkpointable bool `json:"checkpointable,omitempty"`
 	// Constrained, when present, pins a fraction of tasks to one class.
 	Constrained *ConstrainedSpec `json:"constrained,omitempty"`
+	// QueueLimit bounds the waiting queue for open-loop sources: an arrival
+	// that finds the queue full is rejected at admission and counted in the
+	// reject-rate index. Zero means unbounded (the backlog — and with a
+	// streaming source, the task pool — then grows with overload).
+	QueueLimit int `json:"queue_limit,omitempty"`
 }
 
 // OwnerSpec is the workstation-owner churn model: alternating exponential
@@ -299,14 +326,15 @@ func (s *Spec) Validate() error {
 	if err := s.Workload.Work.validate(s.Name + ": workload.work"); err != nil {
 		return err
 	}
-	switch s.Workload.Arrivals.Kind {
-	case "batch", "":
-	case "poisson":
-		if s.Workload.Arrivals.RatePerS <= 0 {
-			return fmt.Errorf("scenario: %s: poisson arrivals need positive rate_per_s", s.Name)
-		}
-	default:
-		return fmt.Errorf("scenario: %s: unknown arrival kind %q (want batch or poisson)", s.Name, s.Workload.Arrivals.Kind)
+	src, err := workloadSource(s.Workload.Arrivals.Kind)
+	if err != nil {
+		return fmt.Errorf("scenario: %s: %w", s.Name, err)
+	}
+	if err := src.Validate(s.Name, s.Workload.Arrivals); err != nil {
+		return err
+	}
+	if s.Workload.QueueLimit < 0 {
+		return fmt.Errorf("scenario: %s: negative queue_limit", s.Name)
 	}
 	if s.Workload.ImageMiB < 0 {
 		return fmt.Errorf("scenario: %s: negative image_mib", s.Name)
@@ -385,6 +413,9 @@ func (s *Spec) withDefaults() *Spec {
 	if out.Workload.Arrivals.Kind == "" {
 		out.Workload.Arrivals.Kind = "batch"
 	}
+	if out.Workload.Arrivals.Kind == "diurnal" && out.Workload.Arrivals.PeriodS == 0 {
+		out.Workload.Arrivals.PeriodS = defaultDiurnalPeriodS
+	}
 	if out.CheckpointIntervalS == 0 {
 		out.CheckpointIntervalS = 30
 	}
@@ -411,11 +442,21 @@ func Parse(data []byte) (*Spec, error) {
 	return &s, nil
 }
 
-// Load reads and parses a spec file.
+// Load reads and parses a spec file. A trace arrival source referencing a
+// file (trace_path, resolved relative to the spec's directory) is inlined
+// into the spec here, so everything downstream — artifacts, cache keys,
+// worker processes — sees a self-contained spec.
 func Load(path string) (*Spec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	return Parse(data)
+	s, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.inlineTrace(filepath.Dir(path)); err != nil {
+		return nil, err
+	}
+	return s, nil
 }

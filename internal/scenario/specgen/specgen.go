@@ -98,8 +98,19 @@ func dist(r *rng.Source, lo, hi float64) scenario.Dist {
 		// what a bounded horizon can express.
 		return scenario.Dist{Kind: "pareto", Alpha: round2(r.Range(1.1, 3)), Xmin: a}
 	default:
-		return scenario.Dist{Kind: "normal", Mean: b, Stddev: round2(r.Range(0, b / 4))}
+		return scenario.Dist{Kind: "normal", Mean: b, Stddev: round2(r.Range(0, b/4))}
 	}
+}
+
+// genRate draws an open-arrival rate that lands most of the workload inside
+// the horizon, quantized to 1e-3 for compact serialization.
+func genRate(r *rng.Source, sp *scenario.Spec) float64 {
+	rate := float64(sp.Workload.Tasks) / (sp.HorizonS * r.Range(0.3, 0.9))
+	rate = round2(rate*1000) / 1000
+	if rate <= 0 {
+		rate = 0.001
+	}
+	return rate
 }
 
 // subset returns a random non-empty subset of all, preserving order.
@@ -177,14 +188,42 @@ func Generate(seed uint64, caps Caps) *scenario.Spec {
 		ImageMiB:       round2(wr.Range(0.5, 8)),
 		Checkpointable: wr.Bool(0.6),
 	}
-	if wr.Bool(0.4) {
+	// Arrival process: every registered source kind gets corpus coverage —
+	// batch most often (the paper's closed-workload baseline), then the open
+	// kinds, so the streaming engine path is property-tested too.
+	switch wr.Intn(6) {
+	case 0, 1:
+		// batch stays as initialized above.
+	case 2, 3:
 		// A rate that lands most arrivals inside the horizon; stragglers
 		// exercise the rejected-at-horizon path deliberately.
-		rate := float64(sp.Workload.Tasks) / (sp.HorizonS * wr.Range(0.3, 0.9))
-		sp.Workload.Arrivals = scenario.ArrivalSpec{Kind: "poisson", RatePerS: round2(rate*1000) / 1000}
-		if sp.Workload.Arrivals.RatePerS <= 0 {
-			sp.Workload.Arrivals.RatePerS = 0.001
+		sp.Workload.Arrivals = scenario.ArrivalSpec{Kind: "poisson", RatePerS: genRate(wr, sp)}
+	case 4:
+		a := scenario.ArrivalSpec{
+			Kind:      "diurnal",
+			RatePerS:  genRate(wr, sp),
+			Amplitude: round2(wr.Range(0, 1)),
+			PeriodS:   round2(wr.Range(sp.HorizonS/4, sp.HorizonS)),
 		}
+		if wr.Bool(0.3) {
+			a.PhaseS = round2(wr.Range(0, a.PeriodS))
+		}
+		sp.Workload.Arrivals = a
+	default:
+		// A short gap list; repeat tiles it so the run still sees every task.
+		mean := sp.HorizonS * wr.Range(0.3, 0.9) / float64(sp.Workload.Tasks)
+		gaps := make([]float64, 2+wr.Intn(6))
+		for i := range gaps {
+			gaps[i] = round2(wr.Range(0, 2*mean))
+		}
+		if gaps[0] < 0.01 {
+			gaps[0] = 0.01 // a positive total keeps repeat valid
+		}
+		sp.Workload.Arrivals = scenario.ArrivalSpec{Kind: "trace", TraceS: gaps, Repeat: wr.Bool(0.7)}
+	}
+	if src, err := scenario.WorkloadSourceFor(sp.Workload.Arrivals.Kind); err == nil && src.Streaming() && wr.Bool(0.5) {
+		// Bounded admission queue: exercises the reject path and the pool cap.
+		sp.Workload.QueueLimit = 1 + wr.Intn(2*sp.Workload.Tasks)
 	}
 	if wr.Bool(0.3) {
 		pin := sp.Machines.Classes[wr.Intn(len(sp.Machines.Classes))].Class

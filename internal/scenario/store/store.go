@@ -39,7 +39,7 @@ type Stats struct {
 // a miss, so the executor falls back to recomputing it. All methods are
 // safe for concurrent use.
 type FS struct {
-	dir                             string
+	dir                            string
 	hits, misses, corrupt, putErrs atomic.Uint64
 }
 

@@ -509,10 +509,28 @@ func (t *Task) Reset() error {
 	t.CheckpointedWork = 0
 	t.doneWork = 0
 	t.accumBase = 0
-	t.placements = 0
 	t.finishKey = 0
 	t.startedAt = 0
 	t.finished = false
+	// placements survives: it is the record's residency generation stamp,
+	// and the auditor keys progress watermarks by (ID, generation). Zeroing
+	// it would make a recycled incarnation collide with its predecessor's
+	// watermark and report progress "moving backwards".
+	return nil
+}
+
+// Recycle re-initializes an unplaced record as a brand-new task — the pooled
+// analogue of allocating a fresh Task. Unlike a bare struct overwrite it
+// preserves the residency generation stamp (see Reset), so audits never
+// confuse two incarnations sharing a pooled record's ID. Recycling a placed
+// record is an error: the hosting machine's accounting still references it.
+func (t *Task) Recycle(fresh Task) error {
+	if t.machine != nil {
+		return fmt.Errorf("sim: cannot recycle task %q while placed on %s", t.ID, t.machine.Name())
+	}
+	gen := t.placements
+	*t = fresh
+	t.placements = gen
 	return nil
 }
 

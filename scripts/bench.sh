@@ -41,6 +41,13 @@ go test "${args[@]}" -bench 'BenchmarkScenarioEngine' . | tee -a "$tmp"
 # The invariant harness's own wall time: one full property sweep over one
 # generated spec. Tracked so `vcebench check` stays cheap enough for CI.
 go test "${args[@]}" -bench 'BenchmarkVcebenchCheck' ./internal/scenario/check/ | tee -a "$tmp"
+# Heavy-traffic streaming cell: one million diurnal open-loop arrivals in
+# one run. Always a single iteration — the 1M-task horizon IS the sample,
+# so -benchtime/-count scaling would just repeat a 15s simulation. The
+# bench itself asserts the bounded-memory contract (task-pool high-water
+# mark independent of task count); here its ns/op and allocs/op join the
+# tracked trajectory.
+go test -run '^$' -benchmem -count 1 -benchtime 1x -bench 'BenchmarkStreamingMillion' ./internal/scenario/ | tee -a "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" \
     -v cpus="$cpus" -v maxprocs="$maxprocs" '
