@@ -1,4 +1,4 @@
-// Benchmarks regenerating every experiment in DESIGN.md §8. Each bench runs
+// Benchmarks regenerating every experiment in DESIGN.md §9. Each bench runs
 // the full harness (workload generation, execution, table production, shape
 // validation); -bench=. therefore reproduces the complete evaluation. Tables
 // print once per bench under -v via b.Log.

@@ -16,6 +16,12 @@ import (
 )
 
 // Link describes one host pair's connectivity.
+//
+// A non-positive Bandwidth means latency-only: TransferTime charges Latency
+// regardless of payload size. That is a deliberate convention for internal
+// callers modeling control traffic (and the zero value's behavior), not an
+// error — callers exposing links to user configuration should validate for
+// positive bandwidth themselves, as the scenario spec layer does.
 type Link struct {
 	// Latency is the one-way propagation delay.
 	Latency time.Duration
@@ -37,6 +43,7 @@ type Model struct {
 	mu          sync.RWMutex
 	def         Link
 	links       map[pair]Link
+	resolve     func(a, b string) (Link, bool)
 	partitioned map[pair]bool
 }
 
@@ -63,12 +70,30 @@ func (m *Model) SetLink(a, b string, l Link) {
 	m.links[orderedPair(a, b)] = l
 }
 
-// LinkBetween returns the effective link between a and b.
+// SetResolver installs a computed link source consulted after explicit
+// SetLink overrides and before the default link. It lets a caller model a
+// structured interconnect (e.g. the scenario engine's per-site topology)
+// in O(1) memory instead of materializing a link per host pair; fn must be
+// pure and safe for concurrent use. A (Link, false) return falls through to
+// the default link; a nil fn removes the resolver.
+func (m *Model) SetResolver(fn func(a, b string) (Link, bool)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resolve = fn
+}
+
+// LinkBetween returns the effective link between a and b: explicit SetLink
+// overrides first, then the resolver (see SetResolver), then the default.
 func (m *Model) LinkBetween(a, b string) Link {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if l, ok := m.links[orderedPair(a, b)]; ok {
 		return l
+	}
+	if m.resolve != nil {
+		if l, ok := m.resolve(a, b); ok {
+			return l
+		}
 	}
 	return m.def
 }

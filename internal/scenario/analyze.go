@@ -88,6 +88,9 @@ var indexRegistry = []indexColumn{
 	{"queue_depth_mean", "tasks", func(i Indexes) float64 { return i.QueueDepthMean }, aggMeanStd},
 	{"queue_depth_max", "tasks", func(i Indexes) float64 { return i.QueueDepthMax }, aggPeak},
 	{"reject_rate_pct", "%", func(i Indexes) float64 { return i.RejectRatePct }, aggMeanStd},
+	{"forwarded_pct", "%", func(i Indexes) float64 { return i.ForwardedPct }, aggMeanStd},
+	{"xfer_wait_s", "s", func(i Indexes) float64 { return i.XferWaitS }, aggMeanStd},
+	{"critical_path_stretch", "×", func(i Indexes) float64 { return i.CriticalPathStretch }, aggMeanStd},
 }
 
 // indexColumns returns the registry (kept as a function so existing call

@@ -2,9 +2,11 @@ package scenario
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 
 	"vce/internal/arch"
+	"vce/internal/rng"
 	"vce/internal/sched"
 	"vce/internal/sim"
 	"vce/internal/workload"
@@ -54,6 +56,21 @@ type runArena struct {
 	// instants reconstruct as fail + DownS).
 	faultAt [][]time.Duration
 
+	// DAG world of the cached run (workload.graph): parents/children
+	// adjacency over task indexes (edges always point low → high, so the
+	// graph is acyclic by construction) and the ideal critical path in
+	// unit-speed seconds — the lower bound critical_path_stretch divides by.
+	parents   [][]int32
+	children  [][]int32
+	graphCP   float64
+	cpScratch []float64
+
+	// Realized site topology, cached per machine-set spec: the generated
+	// names and class blocks depend only on the spec, so it survives run
+	// and cell changes (see ensureTopology). nil means flat network.
+	topo    *siteTopology
+	topoFor *MachineSetSpec
+
 	cluster  *sim.Cluster
 	machines []*sim.Machine
 
@@ -92,6 +109,19 @@ type runArena struct {
 	everPlaced []bool
 	waiting    []sched.Item
 	statesBuf  []sched.MachineState
+
+	// Per-cell DAG scratch (see prepDag): readiness countdown, the instant
+	// a task's last parent finished (its effective arrival), the machine
+	// that completed it, and the site its dependency data lives at.
+	remParents []int32
+	readyAt    []time.Duration
+	doneHost   []int32
+	homeSite   []int32
+	submitted  []bool
+	// inflight counts per-machine deliveries in transit (DAG data staging):
+	// capacity the placement snapshot reserves so a transfer never lands on
+	// a slot a later placement round already spent.
+	inflight []int
 
 	// Candidate sets and the machine name index, stable across runs (the
 	// generated fleet's names and classes depend only on the spec).
@@ -236,6 +266,7 @@ func (ar *runArena) ensureWorld(sp *Spec, run int, horizon time.Duration) error 
 				ar.gens[i].arrival = at
 			}
 		}
+		ar.generateGraph(sp.Workload.Graph, root)
 	}
 
 	ar.faultAt = growSlices(ar.faultAt, nm)
@@ -258,6 +289,67 @@ func (ar *runArena) ensureWorld(sp *Spec, run int, horizon time.Duration) error 
 	}
 	ar.worldRun = run + 1
 	return nil
+}
+
+// randomGraphWindow is how many immediately preceding tasks a "random" DAG
+// task draws candidate parents from.
+const randomGraphWindow = 8
+
+// generateGraph links the cached world's tasks into the spec's dependency
+// DAG and computes its ideal critical path. Only "random" consumes random
+// draws (the "graph" derived stream); chain and fanout shapes are
+// spec-determined. Edges always run from a lower task index to a higher one.
+func (ar *runArena) generateGraph(g *GraphSpec, root *rng.Source) {
+	ar.graphCP = 0
+	if g == nil {
+		return
+	}
+	n := len(ar.gens)
+	ar.parents = growSlices(ar.parents, n)
+	ar.children = growSlices(ar.children, n)
+	addEdge := func(p, c int) {
+		ar.parents[c] = append(ar.parents[c], int32(p))
+		ar.children[p] = append(ar.children[p], int32(c))
+	}
+	switch g.Kind {
+	case "chain":
+		for i := 1; i < n; i++ {
+			addEdge(i-1, i)
+		}
+	case "fanout":
+		for i := 1; i < n; i++ {
+			addEdge((i-1)/g.FanOut, i)
+		}
+	case "random":
+		gr := root.Derive("graph")
+		for j := 1; j < n; j++ {
+			lo := j - randomGraphWindow
+			if lo < 0 {
+				lo = 0
+			}
+			for i := lo; i < j; i++ {
+				if gr.Bool(g.EdgeProb) {
+					addEdge(i, j)
+				}
+			}
+		}
+	}
+	// Ideal critical path at unit speed ignoring transfers: a forward pass
+	// works because every edge points low → high.
+	ar.cpScratch = resetFloats(ar.cpScratch, n)
+	for i := 0; i < n; i++ {
+		cp := 0.0
+		for _, p := range ar.parents[i] {
+			if v := ar.cpScratch[p]; v > cp {
+				cp = v
+			}
+		}
+		cp += ar.gens[i].work
+		ar.cpScratch[i] = cp
+		if cp > ar.graphCP {
+			ar.graphCP = cp
+		}
+	}
 }
 
 // growSlices resizes a slice-of-slices to n entries with every inner slice
@@ -293,6 +385,18 @@ func resetFloats(s []float64, n int) []float64 {
 	s = s[:n]
 	for i := range s {
 		s[i] = 0
+	}
+	return s
+}
+
+// resetFill resizes a scratch slice to n with every entry set to v.
+func resetFill[T any](s []T, n int, v T) []T {
+	if cap(s) < n {
+		s = make([]T, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
 	}
 	return s
 }
@@ -364,6 +468,34 @@ func (ar *runArena) ensureCandidates(sp *Spec, rebuilt bool) error {
 	return nil
 }
 
+// ensureTopology realizes the machine set's site model once per machine-set
+// spec: the generated names and class blocks depend only on the spec, so
+// the topology survives run and cell changes. ar.topo stays nil for flat
+// (site-less) machine sets.
+func (ar *runArena) ensureTopology(sp *Spec) {
+	if ar.topoFor != nil && reflect.DeepEqual(*ar.topoFor, sp.Machines) {
+		return
+	}
+	ms := sp.Machines
+	ar.topoFor = &ms
+	ar.topo = buildTopology(&ms, ar.specs)
+}
+
+// prepDag resets the per-cell DAG scratch: the readiness countdowns rebuild
+// from the cached adjacency, and completion hosts / affinity sites clear to
+// "unknown" for every task of the cached world.
+func (ar *runArena) prepDag() {
+	n := len(ar.gens)
+	ar.remParents = resetFill(ar.remParents, n, int32(0))
+	for i := 0; i < n && i < len(ar.parents); i++ {
+		ar.remParents[i] = int32(len(ar.parents[i]))
+	}
+	ar.readyAt = resetFill(ar.readyAt, n, time.Duration(0))
+	ar.doneHost = resetFill(ar.doneHost, n, int32(-1))
+	ar.homeSite = resetFill(ar.homeSite, n, int32(-1))
+	ar.submitted = resetBools(ar.submitted, n)
+}
+
 // prepCell sizes and clears the per-cell scratch buffers and the pooled
 // task records' index, and resets the run accumulator. Task values
 // themselves are re-initialized by the caller (they need the cell's
@@ -374,6 +506,7 @@ func (ar *runArena) prepCell(streaming bool) {
 	nm := len(ar.machines)
 	ar.down = resetBools(ar.down, nm)
 	ar.ownerLoad = resetFloats(ar.ownerLoad, nm)
+	ar.inflight = resetFill(ar.inflight, nm, 0)
 	ar.waiting = ar.waiting[:0]
 	ar.streamMode = streaming
 	ar.acc.Reset()

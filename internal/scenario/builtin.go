@@ -18,7 +18,7 @@ func builtins() map[string]*Spec {
 			Description: "Heterogeneous cluster with one uniquely-capable MIMD host (§4.3's machine A), heavy-tailed batch bag, bursty owners: scheduling × migration matrix.",
 			HorizonS:    3600,
 			Machines: MachineSetSpec{
-				BandwidthMiBps: 1,
+				BandwidthMiBps: Float64(1),
 				Classes: []MachineClassSpec{
 					{Class: "workstation", Count: 8, Speed: Dist{Kind: "uniform", Min: 1, Max: 2}},
 					{Class: "mimd", Count: 1, Speed: Dist{Kind: "fixed", Value: 6}, Slots: 2},
@@ -47,7 +47,7 @@ func builtins() map[string]*Spec {
 			Description: "Homogeneous workstation pool under aggressive owner reclaim: suspension stalls, migration escapes.",
 			HorizonS:    3600,
 			Machines: MachineSetSpec{
-				BandwidthMiBps: 4,
+				BandwidthMiBps: Float64(4),
 				Classes: []MachineClassSpec{
 					{Class: "workstation", Count: 12, Speed: Dist{Kind: "fixed", Value: 1}},
 				},
@@ -74,7 +74,7 @@ func builtins() map[string]*Spec {
 			Description: "Failure-prone cluster: checkpoint-based recovery against restart-from-scratch.",
 			HorizonS:    7200,
 			Machines: MachineSetSpec{
-				BandwidthMiBps: 2,
+				BandwidthMiBps: Float64(2),
 				Classes: []MachineClassSpec{
 					{Class: "workstation", Count: 10, Speed: Dist{Kind: "normal", Mean: 1.5, Stddev: 0.3}},
 				},

@@ -76,6 +76,12 @@ func properties() []property {
 			seedOnly: true,
 		},
 		{
+			name:     "topology-conservation",
+			doc:      "on a two-site DAG workload every offered task completes or rejects exactly once, children never finish before their parents, and the topology indexes stay in range",
+			check:    topologyConservation,
+			seedOnly: true,
+		},
+		{
 			name:     "machine-permutation",
 			doc:      "machine registration order does not leak into per-machine outcomes",
 			check:    machinePermutation,
@@ -321,7 +327,7 @@ func steadyStateIdentity(ctx context.Context, sp *scenario.Spec, workers int) er
 		Name:     "check-steady",
 		HorizonS: 600,
 		Machines: scenario.MachineSetSpec{
-			BandwidthMiBps: 4,
+			BandwidthMiBps: scenario.Float64(4),
 			Classes: []scenario.MachineClassSpec{
 				{Class: "workstation", Count: 3 + r.Intn(4), Speed: scenario.Dist{Kind: "fixed", Value: 2}},
 			},
@@ -422,6 +428,89 @@ func steadyStateIdentity(ctx context.Context, sp *scenario.Spec, workers int) er
 	}
 	if !bytes.Equal(serial, cold) {
 		return fmt.Errorf("cached streaming report differs from the uncached report")
+	}
+	return nil
+}
+
+// topologyConservation pins the topology/DAG engine's accounting on a spec
+// guaranteed to exercise it: a two-site fleet with an expensive inter-site
+// link, a dependent workload (shape drawn per seed) and the locality policy
+// swept against the greedy baseline. Conservation must be exact — every
+// offered task either completes or rejects, exactly once — the dependency
+// order is enforced in-engine (a child completing before its last parent
+// fails the run itself), the new indexes must stay in range, and the report
+// must not depend on the worker count. The corpus may or may not draw such a
+// combination for any given seed; this property always does.
+func topologyConservation(ctx context.Context, sp *scenario.Spec, workers int) error {
+	r := rng.New(sp.Seed).Derive("check-topology")
+	kinds := []string{"chain", "fanout", "random"}
+	spec := &scenario.Spec{
+		Name:     "check-topology",
+		HorizonS: 6000,
+		Machines: scenario.MachineSetSpec{
+			BandwidthMiBps: scenario.Float64(2),
+			LatencyMs:      1,
+			Classes: []scenario.MachineClassSpec{
+				{Class: "workstation", Count: 2 + r.Intn(3), Speed: scenario.Dist{Kind: "fixed", Value: 1}, Site: "site-a"},
+				{Class: "mimd", Count: 1 + r.Intn(2), Speed: scenario.Dist{Kind: "fixed", Value: 2}, Slots: 2, Site: "site-b"},
+			},
+			Topology: &scenario.TopologySpec{
+				IntraLatencyMs:      0.5,
+				IntraBandwidthMiBps: 16,
+				InterLatencyMs:      20,
+				InterBandwidthMiBps: 1,
+			},
+		},
+		Workload: scenario.WorkloadSpec{
+			Tasks:    12 + r.Intn(20),
+			Work:     scenario.Dist{Kind: "uniform", Min: 5, Max: 30},
+			Arrivals: scenario.ArrivalSpec{Kind: "batch"},
+			Graph:    &scenario.GraphSpec{Kind: kinds[r.Intn(len(kinds))], DataMiB: 2},
+			ImageMiB: 1,
+		},
+		Policies: scenario.PolicyMatrix{
+			Scheduling: []string{"locality", "greedy-best-fit"},
+			Migration:  []string{"none"},
+		},
+		Runs: 2,
+		Seed: r.Uint64(),
+	}
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("derived topology spec invalid: %w", err)
+	}
+
+	serial, rep, err := reportBytes(ctx, spec, scenario.Options{Workers: 1})
+	if err != nil {
+		return err
+	}
+	for _, cell := range rep.Cells {
+		for i, run := range cell.Runs {
+			if run.Completed+run.Rejected != spec.Workload.Tasks {
+				return fmt.Errorf("cell %s/%s run %d: %d completed + %d rejected != %d offered — a task leaked or was double-counted",
+					cell.Sched, cell.Migration, i, run.Completed, run.Rejected, spec.Workload.Tasks)
+			}
+			if run.Completed == 0 {
+				return fmt.Errorf("cell %s/%s run %d completed nothing inside a generous horizon", cell.Sched, cell.Migration, i)
+			}
+			if run.ForwardedPct < 0 || run.ForwardedPct > 100 {
+				return fmt.Errorf("cell %s/%s run %d: forwarded_pct %g outside [0, 100]", cell.Sched, cell.Migration, i, run.ForwardedPct)
+			}
+			if run.XferWaitS < 0 {
+				return fmt.Errorf("cell %s/%s run %d: negative xfer_wait_s %g", cell.Sched, cell.Migration, i, run.XferWaitS)
+			}
+			if run.CriticalPathStretch <= 0 {
+				return fmt.Errorf("cell %s/%s run %d: critical_path_stretch %g not positive for a DAG workload",
+					cell.Sched, cell.Migration, i, run.CriticalPathStretch)
+			}
+		}
+	}
+
+	parallel, _, err := reportBytes(ctx, spec, scenario.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(serial, parallel) {
+		return fmt.Errorf("topology report differs between 1 and %d workers", workers)
 	}
 	return nil
 }
@@ -533,7 +622,7 @@ func makespanDominance(ctx context.Context, sp *scenario.Spec, workers int) erro
 		Name:     "check-dominance",
 		HorizonS: 4000,
 		Machines: scenario.MachineSetSpec{
-			BandwidthMiBps: 4,
+			BandwidthMiBps: scenario.Float64(4),
 			Classes: []scenario.MachineClassSpec{
 				{Class: "workstation", Count: 2 + r.Intn(4), Speed: scenario.Dist{Kind: "fixed", Value: speed}},
 			},

@@ -17,7 +17,7 @@ func testSpec() *Spec {
 		Name:     "engine-test",
 		HorizonS: 900,
 		Machines: MachineSetSpec{
-			BandwidthMiBps: 4,
+			BandwidthMiBps: Float64(4),
 			Classes: []MachineClassSpec{
 				{Class: "workstation", Count: 4, Speed: Dist{Kind: "uniform", Min: 1, Max: 2}},
 				{Class: "mimd", Count: 1, Speed: Dist{Kind: "fixed", Value: 4}},

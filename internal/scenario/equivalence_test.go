@@ -19,7 +19,7 @@ func equivalenceSpec() *Spec {
 		Description: "Large fixed-seed fixture pinning hot-path semantics across optimizations.",
 		HorizonS:    5400,
 		Machines: MachineSetSpec{
-			BandwidthMiBps: 8,
+			BandwidthMiBps: Float64(8),
 			LatencyMs:      2,
 			Classes: []MachineClassSpec{
 				{Class: "workstation", Count: 14, Speed: Dist{Kind: "uniform", Min: 1, Max: 3}},

@@ -23,7 +23,7 @@ func goldenSpec() *Spec {
 		Description: "Pinned fixed-seed artifact fixture for the golden-file tests.",
 		HorizonS:    600,
 		Machines: MachineSetSpec{
-			BandwidthMiBps: 4,
+			BandwidthMiBps: Float64(4),
 			Classes: []MachineClassSpec{
 				{Class: "workstation", Count: 3, Speed: Dist{Kind: "uniform", Min: 1, Max: 2}},
 			},

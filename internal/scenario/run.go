@@ -55,6 +55,17 @@ type Indexes struct {
 	QueueDepthMax  float64 `json:"queue_depth_max"`
 	// RejectRatePct is Rejected as a percentage of the offered tasks.
 	RejectRatePct float64 `json:"reject_rate_pct"`
+	// ForwardedPct is the percentage of data-affine task placements (DAG
+	// tasks with completed parents, under a site topology) whose first
+	// placement landed off the site holding their dependency data.
+	ForwardedPct float64 `json:"forwarded_pct"`
+	// XferWaitS totals the seconds tasks spent staging dependency data
+	// across the network before starting.
+	XferWaitS float64 `json:"xfer_wait_s"`
+	// CriticalPathStretch is MakespanS over the workload DAG's ideal
+	// critical path (unit speed, free transfers); zero for independent
+	// workloads.
+	CriticalPathStretch float64 `json:"critical_path_stretch"`
 }
 
 // derivedStreams builds the per-run random streams. Policy identity is
@@ -181,16 +192,29 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	if err := ar.ensureCandidates(sp, rebuilt); err != nil {
 		return Indexes{}, err
 	}
+	ar.ensureTopology(sp)
+	topo := ar.topo
+	graph := sp.Workload.Graph
+	dag := graph != nil
 	ar.prepCell(streaming)
+	if dag {
+		ar.prepDag()
+	}
 	c := ar.cluster
 	machines := ar.machines
 	if tr != nil {
 		c.Sim.SetStats(&kstats)
 	}
+	// The flat link is the model default; a site topology layers its
+	// resolver on top, so machine pairs with declared positions price by
+	// their site-pair link and everything else (nothing, today) falls back.
 	c.Net = netsim.New(netsim.Link{
 		Latency:   time.Duration(sp.Machines.LatencyMs * float64(time.Millisecond)),
-		Bandwidth: sp.Machines.BandwidthMiBps * (1 << 20),
+		Bandwidth: *sp.Machines.BandwidthMiBps * (1 << 20),
 	})
+	if topo != nil {
+		c.Net.SetResolver(topo.resolver())
+	}
 
 	// An audited run re-derives the kernel's accounting invariants alongside
 	// the simulation; the auditor only observes, so indexes are unchanged.
@@ -215,6 +239,10 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	}
 
 	imageBytes := int64(sp.Workload.ImageMiB * (1 << 20))
+	var edgeBytes int64
+	if dag {
+		edgeBytes = int64(graph.DataMiB * (1 << 20))
+	}
 
 	// ---- per-cell state ----
 	idx := Indexes{}
@@ -222,6 +250,23 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	if err != nil {
 		return Indexes{}, err
 	}
+	// The locality policy scores candidates by the transfer cost of the
+	// workload's dominant payload — the dependency edge for DAG workloads,
+	// the task image otherwise.
+	loc, _ := pol.(*sched.Locality)
+	if loc != nil && topo != nil {
+		payload := imageBytes
+		if dag {
+			payload = edgeBytes
+		}
+		loc.SetTopology(topo.siteOf, topo.costMatrix(payload))
+	}
+	// Affinity accounting for the new indexes: affine counts first
+	// placements of tasks with a known data site, forwarded those placed
+	// off it; xferWaitS integrates time spent staging dependency data.
+	var affine, forwarded int
+	var xferWaitS float64
+	var dagErr error
 
 	var ck *migrate.Checkpointer
 	var lb *loadbalance.VCEMigrate
@@ -269,6 +314,17 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 		}
 		return ar.allNames, ar.allIDs
 	}
+	// newItem builds the placement-queue entry for task i: every enqueue
+	// site (submission, race requeue, fault requeue, transfer bounce) goes
+	// through it so the data-affinity site always rides along.
+	newItem := func(i int, work float64) sched.Item {
+		cands, ids := candsFor(i)
+		it := sched.Item{Task: taskgraph.TaskID(ar.gens[i].id), Candidates: cands, CandidateIDs: ids, Work: work}
+		if dag && topo != nil && ar.homeSite[i] >= 0 {
+			it.HomeSite = int(ar.homeSite[i]) + 1
+		}
+		return it
+	}
 	waiting := ar.waiting
 	// acc is the run's one-pass index accumulator: completions, rejections
 	// and queue-depth changes fold in as events fire, so measurement state
@@ -288,6 +344,40 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	// statesBuf is reused across placement passes: Place snapshots the
 	// machine states it needs, so the buffer is dead once Place returns.
 	statesBuf := ar.statesBuf
+	// stageDelay is the data-staging time a DAG placement pays before the
+	// task can start: the slowest transfer of the edge payload from any
+	// parent's completion host over the actual network link. Co-located
+	// parents (and root tasks) stage for free.
+	stageDelay := func(ti, hi int) time.Duration {
+		if !dag {
+			return 0
+		}
+		var d time.Duration
+		dst := machines[hi].Name()
+		for _, p := range ar.parents[ti] {
+			ph := ar.doneHost[p]
+			if ph < 0 || int(ph) == hi {
+				continue
+			}
+			t, err := c.Net.TransferTime(machines[ph].Name(), dst, edgeBytes)
+			if err == nil && t > d {
+				d = t
+			}
+		}
+		return d
+	}
+	// notePlaced marks a task placed and, on its first placement, folds it
+	// into the affinity accounting behind forwarded_pct.
+	notePlaced := func(ti, hi int) {
+		if dag && topo != nil && !ar.everPlaced[ti] && ar.homeSite[ti] >= 0 {
+			affine++
+			if topo.siteOf[hi] != int(ar.homeSite[ti]) {
+				forwarded++
+			}
+		}
+		ar.everPlaced[ti] = true
+	}
+	var deliver func(ti, hi int)
 	var tryPlace func()
 	tryPlace = func() {
 		if placing {
@@ -308,7 +398,9 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 			}
 			states := statesBuf[:0]
 			for i, m := range machines {
-				free := slots[i] - m.RemoteTasks()
+				// In-transit deliveries (DAG data staging) reserve their
+				// slot up front, so a later placement round can't spend it.
+				free := slots[i] - m.RemoteTasks() - ar.inflight[i]
 				// Down machines and owner-occupied machines take no new
 				// placements (the DAWGS idle-placement discipline); residents
 				// are the migration/suspension policies' problem.
@@ -323,6 +415,16 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 			}
 			placed, left := pol.Place(waiting, states)
 			waiting = left
+			if loc != nil {
+				// Backpressure rejections leave the system here: dropped
+				// items are in neither output, so account them now.
+				for _, d := range loc.Dropped() {
+					acc.TaskRejected()
+					if streaming {
+						ar.releaseSlot(ar.taskIdx[string(d.Task)])
+					}
+				}
+			}
 			for _, a := range placed {
 				ti := ar.taskIdx[string(a.Task)]
 				t := ar.taskAt(ti)
@@ -330,13 +432,22 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 				if !ok {
 					continue
 				}
-				if err := machines[hi].AddTask(t); err != nil {
-					// Placement raced a policy callback; requeue.
-					cands, ids := candsFor(ti)
-					waiting = append(waiting, sched.Item{Task: a.Task, Candidates: cands, CandidateIDs: ids, Work: t.Remaining()})
+				if delay := stageDelay(ti, hi); delay > 0 {
+					// Dependency data must cross the network first: hold the
+					// slot and deliver the task when the transfer lands.
+					notePlaced(ti, hi)
+					xferWaitS += delay.Seconds()
+					ar.inflight[hi]++
+					ti, hi := ti, hi
+					c.Sim.After(delay, func() { deliver(ti, hi) })
 					continue
 				}
-				ar.everPlaced[ti] = true
+				if err := machines[hi].AddTask(t); err != nil {
+					// Placement raced a policy callback; requeue.
+					waiting = append(waiting, newItem(ti, t.Remaining()))
+					continue
+				}
+				notePlaced(ti, hi)
 				// Streaming cells checkpoint through the cell-wide ticker
 				// below: a per-task tick chain would outlive its recycled
 				// pool record and checkpoint the wrong incarnation.
@@ -351,14 +462,58 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 		}
 	}
 
+	// deliver lands a DAG task whose dependency transfer just finished: the
+	// reserved slot converts into a real placement, unless the destination
+	// failed or filled with owner work mid-transfer — then the task bounces
+	// back to the queue for a fresh decision.
+	deliver = func(ti, hi int) {
+		ar.inflight[hi]--
+		t := ar.taskAt(ti)
+		m := machines[hi]
+		if down[hi] || m.LocalLoad() >= migrateHi || m.AddTask(t) != nil {
+			waiting = append(waiting, newItem(ti, t.Remaining()))
+			tryPlace() // the reservation just became real capacity
+			return
+		}
+		if ck != nil && t.Checkpointable && !streaming && !ar.attached[ti] {
+			ar.attached[ti] = true
+			_ = ck.Attach(c, t)
+		}
+	}
+
 	// One completion callback shared by every task of the cell: the pooled
 	// task records are re-initialized per cell, but the closure itself is
 	// identical across them, so tasks never carry per-task closures. In a
 	// streaming cell, completion also returns the record's slot to the pool
-	// for the next arrival.
+	// for the next arrival. For DAG workloads it is also the dependency
+	// engine: a completion records its host (where the output data now
+	// lives), decrements each child's readiness countdown and submits
+	// children whose last parent just finished.
 	onDone := func(t *sim.Task, at time.Duration) {
 		ti := ar.taskIdx[t.ID]
-		acc.TaskDone(at, ar.gens[ti].arrival, t.Work)
+		arrival := ar.gens[ti].arrival
+		if dag {
+			arrival = ar.readyAt[ti]
+			if at < arrival && dagErr == nil {
+				dagErr = fmt.Errorf("scenario: %s run %d: task %s completed at %v before its last parent at %v",
+					inst.Key(), run, t.ID, at, arrival)
+			}
+			host := t.DoneOn()
+			if host != nil {
+				ar.doneHost[ti] = int32(host.Index())
+				for _, ci := range ar.children[ti] {
+					ar.remParents[ci]--
+					if ar.remParents[ci] == 0 {
+						ar.readyAt[ci] = at
+						if topo != nil {
+							ar.homeSite[ci] = int32(topo.siteOf[host.Index()])
+						}
+						ar.submitHook(int(ci))
+					}
+				}
+			}
+		}
+		acc.TaskDone(at, arrival, t.Work)
 		if streaming {
 			ar.releaseSlot(ti)
 		}
@@ -378,8 +533,11 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 			// residents between cells.
 			panic(err)
 		}
-		cands, ids := candsFor(i)
-		waiting = append(waiting, sched.Item{Task: taskgraph.TaskID(g.id), Candidates: cands, CandidateIDs: ids, Work: g.work})
+		if dag {
+			ar.submitted[i] = true
+			ar.readyAt[i] = c.Sim.Now()
+		}
+		waiting = append(waiting, newItem(i, g.work))
 		tryPlace()
 	}
 	// generated counts the arrivals a streaming pump actually produced; the
@@ -388,6 +546,15 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	generated := 0
 	if !streaming {
 		for i := range ar.gens {
+			if dag {
+				// Only root tasks follow the arrival source; children arrive
+				// when their last parent completes. A task still unsubmitted
+				// at the horizon is accounted rejected after the run.
+				if len(ar.parents[i]) == 0 && ar.gens[i].arrival < horizon {
+					c.Sim.At(ar.gens[i].arrival, ar.arriveFn(i))
+				}
+				continue
+			}
 			if ar.gens[i].arrival >= horizon {
 				acc.TaskRejected() // never arrives inside the horizon
 				continue
@@ -561,6 +728,10 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 		}
 	}
 
+	if dagErr != nil {
+		return Indexes{}, dagErr
+	}
+
 	// Rejected counts tasks that never got a placement; fault-requeued tasks
 	// stranded in the queue at the horizon were placed once and already show
 	// up in Failed, not here.
@@ -575,10 +746,29 @@ func runInstance(ctx context.Context, inst Instance, run int, audit bool, tr *ob
 	if streaming {
 		acc.rejected += sp.Workload.Tasks - generated
 	}
+	// A DAG task never submitted — a root arriving past the horizon, or a
+	// child whose ancestry didn't finish in time — never entered the system:
+	// rejected, the closed-world analogue of the rules above. (Submitted but
+	// never-placed tasks are the waiting sweep's; locality drops were counted
+	// at drop time; tasks still staging data at the horizon were placed.)
+	if dag {
+		for i := range ar.gens {
+			if !ar.submitted[i] {
+				acc.TaskRejected()
+			}
+		}
+	}
 	// Hand the grown scratch capacity back to the arena for the next cell.
 	ar.waiting = waiting
 	ar.statesBuf = statesBuf
 	acc.Finalize(&idx, end, sp.Workload.Tasks)
+	if affine > 0 {
+		idx.ForwardedPct = 100 * float64(forwarded) / float64(affine)
+	}
+	idx.XferWaitS = xferWaitS
+	if dag && ar.graphCP > 0 {
+		idx.CriticalPathStretch = idx.MakespanS / ar.graphCP
+	}
 	var util float64
 	for _, m := range machines {
 		util += m.RemoteUtilization(end)

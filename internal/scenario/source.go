@@ -168,7 +168,12 @@ func (diurnalSource) Cursor(a ArrivalSpec, r *rng.Source) ArrivalCursor {
 		for {
 			t += r.ExpFloat64() / peak
 			rate := a.RatePerS * (1 + a.Amplitude*math.Sin(2*math.Pi*(t+a.PhaseS)/period))
-			if r.Float64()*peak <= rate {
+			// Strict inequality: Float64 draws from [0, 1), so u·peak <= rate
+			// would accept candidates at instants where rate(t) == 0 (the
+			// trough of an amplitude-1 cycle) whenever u draws exactly zero.
+			// Lewis-Shedler thinning accepts with probability rate/peak, which
+			// is 0 there — a zero-rate instant must never produce an arrival.
+			if r.Float64()*peak < rate {
 				return time.Duration(t * float64(time.Second)), true
 			}
 		}
@@ -256,10 +261,13 @@ func (s *Spec) inlineTrace(dir string) error {
 }
 
 // parseTrace reads the compact arrival file format: one inter-arrival gap
-// in seconds per line; blank lines and #-comments are skipped.
+// in seconds per line; blank lines and #-comments are skipped. Files saved
+// with CRLF line endings parse identically to LF ones: the carriage return
+// is stripped explicitly before any content check.
 func parseTrace(data []byte) ([]float64, error) {
 	var gaps []float64
 	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSuffix(line, "\r")
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue

@@ -232,6 +232,115 @@ func TestInlineTrace(t *testing.T) {
 	}
 }
 
+// TestParseTraceCRLF: trace files saved on Windows (CRLF line endings) parse
+// identically to LF ones — carriage returns never leak into the numbers or
+// defeat the comment/blank-line checks.
+func TestParseTraceCRLF(t *testing.T) {
+	gaps, err := parseTrace([]byte("# recorded on win32\r\n0.5\r\n\r\n1.5\r\n2.25\r\n"))
+	if err != nil {
+		t.Fatalf("CRLF trace rejected: %v", err)
+	}
+	if !reflect4EqualF(gaps, []float64{0.5, 1.5, 2.25}) {
+		t.Errorf("CRLF gaps = %v, want [0.5 1.5 2.25]", gaps)
+	}
+	lf, err := parseTrace([]byte("# recorded on win32\n0.5\n\n1.5\n2.25\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect4EqualF(gaps, lf) {
+		t.Errorf("CRLF parse %v differs from LF parse %v", gaps, lf)
+	}
+}
+
+// TestParseTraceEdgeCases: comment-only and blank-only files fail loudly,
+// trailing blank lines are fine, and parse errors report the 1-based line
+// number of the offending line, comments and blanks included.
+func TestParseTraceEdgeCases(t *testing.T) {
+	if _, err := parseTrace([]byte("# only\n# comments\n\n")); err == nil || !strings.Contains(err.Error(), "no arrival gaps") {
+		t.Errorf("comment-only trace: err = %v, want 'no arrival gaps'", err)
+	}
+	gaps, err := parseTrace([]byte("1\n2\n\n\n"))
+	if err != nil {
+		t.Fatalf("trailing blank lines rejected: %v", err)
+	}
+	if !reflect4EqualF(gaps, []float64{1, 2}) {
+		t.Errorf("gaps = %v, want [1 2]", gaps)
+	}
+	_, err = parseTrace([]byte("# header\n1\nbogus\n2\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("malformed line: err = %v, want it to name line 3", err)
+	}
+}
+
+// TestInlineTracePrecedence pins the documented rule: when a spec carries
+// both trace_s and trace_path, the inline gaps win and the path is dropped
+// without being read. The path here does not exist, so any attempt to read
+// it would fail the Load.
+func TestInlineTracePrecedence(t *testing.T) {
+	dir := t.TempDir()
+	sp := testSpec()
+	sp.Workload.Arrivals = ArrivalSpec{
+		Kind:      "trace",
+		TracePath: "does-not-exist.txt",
+		TraceS:    []float64{0.25, 1, 2},
+	}
+	blob, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("inline trace_s should shadow the unreadable path: %v", err)
+	}
+	a := loaded.Workload.Arrivals
+	if a.TracePath != "" {
+		t.Errorf("trace_path survived precedence: %q", a.TracePath)
+	}
+	if !reflect4EqualF(a.TraceS, []float64{0.25, 1, 2}) {
+		t.Errorf("inline gaps changed: %v", a.TraceS)
+	}
+}
+
+// TestDiurnalFullAmplitude: at amplitude 1 the rate touches zero at the
+// trough, and Lewis-Shedler thinning with a strict acceptance keeps the
+// trough essentially silent — the sequence stays ordered, deterministic, and
+// overwhelmingly concentrated away from the zero-rate region.
+func TestDiurnalFullAmplitude(t *testing.T) {
+	src, _ := workloadSource("diurnal")
+	a := ArrivalSpec{Kind: "diurnal", RatePerS: 5, Amplitude: 1, PeriodS: 20}
+	cur := src.Cursor(a, rng.New(7).Derive("arrivals"))
+	var last time.Duration
+	peak, trough := 0, 0
+	for i := 0; i < 4000; i++ {
+		at, ok := cur()
+		if !ok {
+			t.Fatal("diurnal cursor ended")
+		}
+		if at < last {
+			t.Fatalf("arrival %d = %v before %v", i, at, last)
+		}
+		last = at
+		// Phase 0, period 20: rate peaks at s=5 and is zero at s=15.
+		s := math.Mod(at.Seconds(), 20)
+		switch {
+		case s >= 4 && s <= 6:
+			peak++
+		case s >= 14 && s <= 16:
+			trough++
+		}
+	}
+	if peak == 0 {
+		t.Fatal("no arrivals in the peak window")
+	}
+	if float64(trough) > 0.05*float64(peak) {
+		t.Errorf("zero-rate trough saw %d arrivals vs %d at the peak — thinning is not suppressing the trough", trough, peak)
+	}
+}
+
 func reflect4EqualF(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false

@@ -107,6 +107,45 @@ type MachineClassSpec struct {
 	// Slots is how many concurrent remote tasks each machine accepts
 	// (default 1).
 	Slots int `json:"slots,omitempty"`
+	// Site names the network position of this class's machines. Sites feed
+	// the per-site network model (machines.topology) and the locality
+	// scheduling policy's data-affinity accounting; empty means no declared
+	// position (required to be non-empty when topology is present).
+	Site string `json:"site,omitempty"`
+}
+
+// Float64 returns a pointer to v, for optional spec fields that distinguish
+// "absent" (nil, defaulted) from an explicit value.
+func Float64(v float64) *float64 { return &v }
+
+// LinkSpec overrides the link between one pair of sites. The pair is
+// unordered (links are symmetric); a == b overrides that site's intra-site
+// link. A zero latency or bandwidth field inherits the topology's intra/inter
+// value for that pair.
+type LinkSpec struct {
+	// A and B name the endpoints; both must be declared class sites.
+	A string `json:"a"`
+	B string `json:"b"`
+	// LatencyMs is the one-way latency in milliseconds for this pair.
+	LatencyMs float64 `json:"latency_ms,omitempty"`
+	// BandwidthMiBps is the pair's bandwidth in MiB/s.
+	BandwidthMiBps float64 `json:"bandwidth_mib_s,omitempty"`
+}
+
+// TopologySpec shapes the per-site network model: machines within a site
+// talk over the intra-site link, machines in different sites over the
+// inter-site link, with optional per-pair overrides. Zero-valued fields
+// inherit the flat machines.bandwidth_mib_s / machines.latency_ms link, so a
+// topology can override just the dimension it cares about.
+type TopologySpec struct {
+	// IntraLatencyMs and IntraBandwidthMiBps shape same-site links.
+	IntraLatencyMs      float64 `json:"intra_latency_ms,omitempty"`
+	IntraBandwidthMiBps float64 `json:"intra_bandwidth_mib_s,omitempty"`
+	// InterLatencyMs and InterBandwidthMiBps shape cross-site links.
+	InterLatencyMs      float64 `json:"inter_latency_ms,omitempty"`
+	InterBandwidthMiBps float64 `json:"inter_bandwidth_mib_s,omitempty"`
+	// Links overrides individual site pairs.
+	Links []LinkSpec `json:"links,omitempty"`
 }
 
 // MachineSetSpec is the generated cluster configuration: treating the
@@ -116,9 +155,15 @@ type MachineSetSpec struct {
 	// Classes lists the machine groups to generate.
 	Classes []MachineClassSpec `json:"classes"`
 	// BandwidthMiBps sets interconnect bandwidth in MiB/s (default 1).
-	BandwidthMiBps float64 `json:"bandwidth_mib_s,omitempty"`
+	// When set it must be positive: the engine refuses a zero-bandwidth
+	// network instead of silently making every transfer free.
+	BandwidthMiBps *float64 `json:"bandwidth_mib_s,omitempty"`
 	// LatencyMs sets per-transfer latency in milliseconds (default 0).
 	LatencyMs float64 `json:"latency_ms,omitempty"`
+	// Topology, when present, replaces the single flat link with a per-site
+	// model keyed by each class's site. It requires every class to declare
+	// a site and at least two distinct sites to exist.
+	Topology *TopologySpec `json:"topology,omitempty"`
 }
 
 // ArrivalSpec shapes task submission times. Kind resolves against the
@@ -140,11 +185,15 @@ type ArrivalSpec struct {
 	// PhaseS shifts the diurnal cycle start, in seconds.
 	PhaseS float64 `json:"phase_s,omitempty"`
 	// TracePath names a compact arrival file for "trace": one inter-arrival
-	// gap in seconds per line, blank lines and #-comments skipped.
-	// scenario.Load inlines the file into TraceS (relative to the spec's
-	// directory) so artifacts and cache keys are self-contained.
+	// gap in seconds per line, blank lines and #-comments skipped (CRLF
+	// line endings accepted). scenario.Load inlines the file into TraceS
+	// (relative to the spec's directory) so artifacts and cache keys are
+	// self-contained.
 	TracePath string `json:"trace_path,omitempty"`
-	// TraceS is the inlined inter-arrival gap sequence, in seconds.
+	// TraceS is the inlined inter-arrival gap sequence, in seconds. When a
+	// spec carries both trace_s and trace_path, the inline gaps win and the
+	// path is dropped without being read — inlining is how a loaded spec
+	// stays content-addressed, so the inline form is always authoritative.
 	TraceS []float64 `json:"trace_s,omitempty"`
 	// Repeat tiles the trace until the horizon or the task cap.
 	Repeat bool `json:"repeat,omitempty"`
@@ -161,6 +210,27 @@ type ConstrainedSpec struct {
 	Class string `json:"class"`
 }
 
+// GraphSpec makes the workload a dependent task graph instead of a bag of
+// independent tasks: a task becomes placeable only when all its parents have
+// completed, and placing it on a machine costs the data transfer from each
+// parent's host over the actual network link. Graph workloads need a closed
+// arrival source (batch or poisson): the graph is part of the generated
+// world, which streaming sources do not materialize.
+type GraphSpec struct {
+	// Kind selects the dependency shape: "chain" (task i-1 → i), "fanout"
+	// (a FanOut-ary tree rooted at task 0), or "random" (each task draws
+	// edges from a window of earlier tasks with probability EdgeProb).
+	Kind string `json:"kind"`
+	// FanOut is the tree arity for "fanout" (default 2).
+	FanOut int `json:"fan_out,omitempty"`
+	// EdgeProb is the per-candidate edge probability for "random", in
+	// (0, 1] (default 0.15). Candidates are the 8 preceding tasks.
+	EdgeProb float64 `json:"edge_prob,omitempty"`
+	// DataMiB sizes the payload a child stages from each parent, in MiB
+	// (default 1).
+	DataMiB float64 `json:"data_mib,omitempty"`
+}
+
 // WorkloadSpec generates the task population.
 type WorkloadSpec struct {
 	// Tasks is the number of tasks submitted.
@@ -169,6 +239,10 @@ type WorkloadSpec struct {
 	Work Dist `json:"work"`
 	// Arrivals shapes submission times.
 	Arrivals ArrivalSpec `json:"arrivals"`
+	// Graph, when present, links the tasks into a dependency DAG. Only
+	// root tasks follow Arrivals; every other task arrives when its last
+	// parent completes.
+	Graph *GraphSpec `json:"graph,omitempty"`
 	// ImageMiB sizes the task image in MiB (migration cost; default 1).
 	ImageMiB float64 `json:"image_mib,omitempty"`
 	// Checkpointable marks tasks as checkpoint-cooperative.
@@ -245,7 +319,9 @@ type Spec struct {
 }
 
 // SchedPolicyNames lists the recognized scheduling policy names.
-func SchedPolicyNames() []string { return []string{"greedy-best-fit", "utilization-first"} }
+func SchedPolicyNames() []string {
+	return []string{"greedy-best-fit", "utilization-first", "locality"}
+}
 
 // MigrationNames lists the recognized migration strategy names.
 func MigrationNames() []string {
@@ -262,6 +338,8 @@ func newSchedPolicy(name string) (sched.Policy, error) {
 		return sched.NewGreedyBestFit(), nil
 	case "utilization-first":
 		return sched.NewUtilizationFirst(), nil
+	case "locality":
+		return sched.NewLocality(), nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown scheduling policy %q (want one of %s)",
 			name, strings.Join(SchedPolicyNames(), ", "))
@@ -317,8 +395,17 @@ func (s *Spec) Validate() error {
 		}
 		total += cl.Count
 	}
-	if s.Machines.BandwidthMiBps < 0 || s.Machines.LatencyMs < 0 {
-		return fmt.Errorf("scenario: %s: negative network parameters", s.Name)
+	// Explicit bandwidth must be positive: netsim treats a zero-bandwidth
+	// link as latency-only (free payload), which is an internal-caller
+	// convention, not something a spec should be able to ask for silently.
+	if bw := s.Machines.BandwidthMiBps; bw != nil && *bw <= 0 {
+		return fmt.Errorf("scenario: %s: machines.bandwidth_mib_s must be positive, got %v", s.Name, *bw)
+	}
+	if s.Machines.LatencyMs < 0 {
+		return fmt.Errorf("scenario: %s: negative machines.latency_ms", s.Name)
+	}
+	if err := s.validateTopology(); err != nil {
+		return err
 	}
 	if s.Workload.Tasks <= 0 {
 		return fmt.Errorf("scenario: %s: workload.tasks must be positive, got %d", s.Name, s.Workload.Tasks)
@@ -332,6 +419,27 @@ func (s *Spec) Validate() error {
 	}
 	if err := src.Validate(s.Name, s.Workload.Arrivals); err != nil {
 		return err
+	}
+	if g := s.Workload.Graph; g != nil {
+		switch g.Kind {
+		case "chain", "fanout", "random":
+		case "":
+			return fmt.Errorf("scenario: %s: workload.graph needs a kind (chain, fanout or random)", s.Name)
+		default:
+			return fmt.Errorf("scenario: %s: workload.graph: unknown kind %q (want chain, fanout or random)", s.Name, g.Kind)
+		}
+		if src.Streaming() {
+			return fmt.Errorf("scenario: %s: workload.graph needs a closed arrival source (batch or poisson), not streaming %q", s.Name, s.Workload.Arrivals.Kind)
+		}
+		if g.FanOut < 0 {
+			return fmt.Errorf("scenario: %s: workload.graph: negative fan_out", s.Name)
+		}
+		if g.EdgeProb < 0 || g.EdgeProb > 1 {
+			return fmt.Errorf("scenario: %s: workload.graph: edge_prob %v outside [0, 1]", s.Name, g.EdgeProb)
+		}
+		if g.DataMiB < 0 {
+			return fmt.Errorf("scenario: %s: workload.graph: negative data_mib", s.Name)
+		}
 	}
 	if s.Workload.QueueLimit < 0 {
 		return fmt.Errorf("scenario: %s: negative queue_limit", s.Name)
@@ -395,6 +503,46 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
+// validateTopology checks the per-site network model: a topology requires
+// every class to declare a site and at least two distinct sites (a one-site
+// topology is the flat link wearing a costume), link overrides must name
+// declared sites, and no parameter may be negative.
+func (s *Spec) validateTopology() error {
+	sites := make(map[string]bool)
+	for _, cl := range s.Machines.Classes {
+		if cl.Site != "" {
+			sites[cl.Site] = true
+		}
+	}
+	t := s.Machines.Topology
+	if t == nil {
+		return nil
+	}
+	for i, cl := range s.Machines.Classes {
+		if cl.Site == "" {
+			return fmt.Errorf("scenario: %s: machines.topology requires machines.classes[%d] (%s) to declare a site", s.Name, i, cl.Class)
+		}
+	}
+	if len(sites) < 2 {
+		return fmt.Errorf("scenario: %s: machines.topology needs at least two distinct sites, got %d", s.Name, len(sites))
+	}
+	if t.IntraLatencyMs < 0 || t.InterLatencyMs < 0 {
+		return fmt.Errorf("scenario: %s: machines.topology: negative latency", s.Name)
+	}
+	if t.IntraBandwidthMiBps < 0 || t.InterBandwidthMiBps < 0 {
+		return fmt.Errorf("scenario: %s: machines.topology: negative bandwidth", s.Name)
+	}
+	for i, l := range t.Links {
+		if !sites[l.A] || !sites[l.B] {
+			return fmt.Errorf("scenario: %s: machines.topology.links[%d]: sites %q and %q must both be declared class sites", s.Name, i, l.A, l.B)
+		}
+		if l.LatencyMs < 0 || l.BandwidthMiBps < 0 {
+			return fmt.Errorf("scenario: %s: machines.topology.links[%d]: negative latency or bandwidth", s.Name, i)
+		}
+	}
+	return nil
+}
+
 // withDefaults returns a copy with defaulted fields filled in.
 func (s *Spec) withDefaults() *Spec {
 	out := *s
@@ -404,11 +552,24 @@ func (s *Spec) withDefaults() *Spec {
 	if out.Runs == 0 {
 		out.Runs = 5
 	}
-	if out.Machines.BandwidthMiBps == 0 {
-		out.Machines.BandwidthMiBps = 1
+	if out.Machines.BandwidthMiBps == nil {
+		out.Machines.BandwidthMiBps = Float64(1)
 	}
 	if out.Workload.ImageMiB == 0 {
 		out.Workload.ImageMiB = 1
+	}
+	if g := out.Workload.Graph; g != nil {
+		c := *g
+		if c.FanOut == 0 {
+			c.FanOut = 2
+		}
+		if c.EdgeProb == 0 {
+			c.EdgeProb = 0.15
+		}
+		if c.DataMiB == 0 {
+			c.DataMiB = 1
+		}
+		out.Workload.Graph = &c
 	}
 	if out.Workload.Arrivals.Kind == "" {
 		out.Workload.Arrivals.Kind = "batch"

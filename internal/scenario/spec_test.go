@@ -162,8 +162,8 @@ func TestDefaultsApplied(t *testing.T) {
 	sp.Runs = 0
 	sp.HorizonS = 0
 	d := sp.withDefaults()
-	if d.Runs != 5 || d.HorizonS != 3600 || d.Machines.BandwidthMiBps != 1 || d.Workload.ImageMiB != 1 {
-		t.Errorf("defaults = runs=%d horizon=%v bw=%v image=%v", d.Runs, d.HorizonS, d.Machines.BandwidthMiBps, d.Workload.ImageMiB)
+	if d.Runs != 5 || d.HorizonS != 3600 || *d.Machines.BandwidthMiBps != 1 || d.Workload.ImageMiB != 1 {
+		t.Errorf("defaults = runs=%d horizon=%v bw=%v image=%v", d.Runs, d.HorizonS, *d.Machines.BandwidthMiBps, d.Workload.ImageMiB)
 	}
 	if sp.Runs != 0 {
 		t.Error("withDefaults mutated the receiver")

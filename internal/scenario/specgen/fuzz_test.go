@@ -113,7 +113,11 @@ func tame(sp *scenario.Spec) *scenario.Spec {
 	// ≥ ~8ms: an unbounded ratio lets a migration storm pack tens of
 	// millions of events into the horizon — technically finite, effectively
 	// a fuzz hang.
-	out.Machines.BandwidthMiBps = clampF(out.Machines.BandwidthMiBps, 0.1, 64)
+	bw := 1.0
+	if out.Machines.BandwidthMiBps != nil {
+		bw = *out.Machines.BandwidthMiBps
+	}
+	out.Machines.BandwidthMiBps = scenario.Float64(clampF(bw, 0.1, 64))
 	out.Machines.LatencyMs = clampF(out.Machines.LatencyMs, 0, 1e3)
 	if out.Workload.Tasks > 6 {
 		out.Workload.Tasks = 6

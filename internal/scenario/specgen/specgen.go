@@ -174,9 +174,32 @@ func Generate(seed uint64, caps Caps) *scenario.Spec {
 		}
 		sp.Machines.Classes = append(sp.Machines.Classes, cl)
 	}
-	sp.Machines.BandwidthMiBps = round2(mr.Range(0.5, 16))
+	sp.Machines.BandwidthMiBps = scenario.Float64(round2(mr.Range(0.5, 16)))
 	if mr.Bool(0.5) {
 		sp.Machines.LatencyMs = round2(mr.Range(0, 20))
+	}
+	// Network positions: a slice of the multi-class worlds splits across two
+	// sites (alternating class blocks guarantees both are populated), and
+	// most of those also shape the per-site link model — so the topology
+	// engine path and the locality policy get steady corpus coverage.
+	if nclasses >= 2 && mr.Bool(0.4) {
+		for i := range sp.Machines.Classes {
+			sp.Machines.Classes[i].Site = fmt.Sprintf("s%d", i%2)
+		}
+		if mr.Bool(0.7) {
+			t := &scenario.TopologySpec{
+				InterLatencyMs:      round2(mr.Range(1, 50)),
+				InterBandwidthMiBps: round2(mr.Range(0.1, 4)),
+			}
+			if mr.Bool(0.5) {
+				t.IntraLatencyMs = round2(mr.Range(0, 2))
+				t.IntraBandwidthMiBps = round2(mr.Range(4, 32))
+			}
+			if mr.Bool(0.2) {
+				t.Links = []scenario.LinkSpec{{A: "s0", B: "s1", LatencyMs: round2(mr.Range(1, 100))}}
+			}
+			sp.Machines.Topology = t
+		}
 	}
 
 	// ---- workload ----
@@ -225,6 +248,23 @@ func Generate(seed uint64, caps Caps) *scenario.Spec {
 		// Bounded admission queue: exercises the reject path and the pool cap.
 		sp.Workload.QueueLimit = 1 + wr.Intn(2*sp.Workload.Tasks)
 	}
+	// Dependent workloads: a third of the closed-source specs link their
+	// tasks into a DAG (graph workloads require a materialized world, so
+	// streaming sources are excluded by construction, matching Validate).
+	if src, err := scenario.WorkloadSourceFor(sp.Workload.Arrivals.Kind); err == nil && !src.Streaming() && wr.Bool(0.35) {
+		g := &scenario.GraphSpec{DataMiB: round2(wr.Range(0.25, 8))}
+		switch wr.Intn(3) {
+		case 0:
+			g.Kind = "chain"
+		case 1:
+			g.Kind = "fanout"
+			g.FanOut = 2 + wr.Intn(3)
+		default:
+			g.Kind = "random"
+			g.EdgeProb = round2(wr.Range(0.05, 0.6))
+		}
+		sp.Workload.Graph = g
+	}
 	if wr.Bool(0.3) {
 		pin := sp.Machines.Classes[wr.Intn(len(sp.Machines.Classes))].Class
 		sp.Workload.Constrained = &scenario.ConstrainedSpec{
@@ -252,7 +292,7 @@ func Generate(seed uint64, caps Caps) *scenario.Spec {
 
 	// ---- policy matrix ----
 	pr := r.Derive("policies")
-	scheds := subset(pr, scenario.SchedPolicyNames(), len(scenario.SchedPolicyNames()))
+	scheds := subset(pr, scenario.SchedPolicyNames(), caps.MaxCells)
 	maxMig := caps.MaxCells / len(scheds)
 	if maxMig < 1 {
 		maxMig = 1

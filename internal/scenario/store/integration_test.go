@@ -19,7 +19,7 @@ func sweepSpec() *scenario.Spec {
 		Name:     "store-integration",
 		HorizonS: 600,
 		Machines: scenario.MachineSetSpec{
-			BandwidthMiBps: 4,
+			BandwidthMiBps: scenario.Float64(4),
 			Classes: []scenario.MachineClassSpec{
 				{Class: "workstation", Count: 3, Speed: scenario.Dist{Kind: "uniform", Min: 1, Max: 2}},
 			},

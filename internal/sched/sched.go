@@ -107,6 +107,11 @@ type Item struct {
 	CandidateIDs []int
 	// Work is the instance's expected work, used by cost heuristics.
 	Work float64
+	// HomeSite is the item's data-affinity site plus one — the site its
+	// dependency outputs live at, as a 1-based id into the site table a
+	// topology-aware policy was configured with (Locality.SetTopology).
+	// Zero means no data affinity; policies without topology ignore it.
+	HomeSite int
 }
 
 // Assignment binds a task instance to a machine.

@@ -52,6 +52,10 @@ type Task struct {
 	CheckpointedWork float64
 
 	machine *Machine
+	// doneOn is the machine that ran the task to completion, recorded just
+	// as the machine detaches the finished record (machine is already nil
+	// when OnDone fires).
+	doneOn *Machine
 	// doneWork is the materialized progress: exact while unplaced, the
 	// placement-time baseline while resident (current progress is doneWork
 	// plus the machine's accumulator delta since placement).
@@ -85,6 +89,12 @@ func (t *Task) Remaining() float64 { return t.Work - t.DoneWork() }
 
 // Machine returns the current host (nil when not placed).
 func (t *Task) Machine() *Machine { return t.machine }
+
+// DoneOn returns the machine that completed the task, nil until it finishes.
+// Unlike Machine it is valid inside OnDone callbacks — completion detaches
+// the record before the callback fires — so callers can attribute the finish
+// to a host (e.g. dependent-workload data staging).
+func (t *Task) DoneOn() *Machine { return t.doneOn }
 
 // Finished reports completion.
 func (t *Task) Finished() bool { return t.finished }
@@ -346,6 +356,7 @@ func (m *Machine) onCompletion() {
 			t.doneWork = m.progress(t)
 			t.finished = true
 			t.machine = nil
+			t.doneOn = m
 			finished = append(finished, t)
 			m.completed++
 		} else {
